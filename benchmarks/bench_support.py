@@ -1,0 +1,8 @@
+"""Helpers shared by the benchmark files."""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run ``function`` exactly once under the benchmark timer and return its result."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)

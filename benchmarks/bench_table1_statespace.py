@@ -1,0 +1,44 @@
+"""Table 1 — state-space size per repair strategy.
+
+Regenerates the state and transition counts of both process lines for
+DED, FRF-1/2 and FFF-1/2 and checks the paper's qualitative observations:
+
+* dedicated repair yields the minimal ``2^n`` state spaces (exact match
+  with the published numbers for Line 1: 2048 states, 22528 transitions),
+* the queued strategies are much larger,
+* FRF and FFF have identical state counts,
+* adding a repair crew leaves the state count unchanged and only increases
+  the number of transitions.
+"""
+
+from __future__ import annotations
+
+from bench_support import run_once
+
+from repro.casestudy.experiments import clear_cache, table1_state_space
+
+
+def test_table1_state_space(benchmark):
+    clear_cache()  # measure construction, not cache hits
+    result = run_once(benchmark, table1_state_space)
+
+    print()
+    print(result.to_text())
+
+    dedicated = result.row_by("strategy", "DED")
+    assert dedicated[1] == 2**11 and dedicated[2] == 11 * 2**11  # Line 1 exact
+    assert dedicated[3] == 2**9  # Line 2 exact
+
+    frf1 = result.row_by("strategy", "FRF-1")
+    frf2 = result.row_by("strategy", "FRF-2")
+    fff1 = result.row_by("strategy", "FFF-1")
+    fff2 = result.row_by("strategy", "FFF-2")
+
+    # Queued strategies dwarf the dedicated state space.
+    assert frf1[1] > 10 * dedicated[1]
+    assert frf1[3] > 4 * dedicated[3]
+    # FRF and FFF coincide in size; crews only add transitions.
+    assert frf1[1] == fff1[1] == frf2[1] == fff2[1]
+    assert frf1[3] == fff1[3] == frf2[3] == fff2[3]
+    assert frf2[2] > frf1[2] and fff2[2] > fff1[2]
+    assert frf2[4] > frf1[4] and fff2[4] > fff1[4]

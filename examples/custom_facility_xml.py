@@ -1,0 +1,104 @@
+"""Define a custom facility, round-trip it through XML, and cross-check paths.
+
+This example shows the "openness" part of the Arcade tool chain: the model
+is written to the XML input format, read back, and analysed.  It also
+demonstrates the agreement of the three semantic paths implemented by this
+library — direct state-space generation, the reactive-modules (PRISM)
+translation and the I/O-IMC translation — on a small custom model, plus a
+Monte-Carlo sanity check.
+
+Run with::
+
+    python examples/custom_facility_xml.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.arcade import (
+    ArcadeModel,
+    BasicComponent,
+    BasicEvent,
+    FaultTree,
+    KOfN,
+    Or,
+    RepairUnit,
+    build_state_space,
+    read_model,
+    write_model,
+)
+from repro.arcade.model import Disaster
+from repro.arcade.to_iomc import arcade_iomc_ctmc
+from repro.arcade.to_modules import arcade_to_modules
+from repro.ctmc import steady_state_distribution
+from repro.measures import steady_state_availability, survivability
+from repro.modules import build_ctmc
+from repro.sim import estimate_availability
+
+
+def build_custom_model() -> ArcadeModel:
+    """A small pumping station: two parallel feed pumps and a filtration skid."""
+    components = (
+        BasicComponent("feed_pump1", mttf=800.0, mttr=6.0, component_class="pump", priority=1),
+        BasicComponent("feed_pump2", mttf=800.0, mttr=6.0, component_class="pump", priority=1),
+        BasicComponent("filter_skid", mttf=1500.0, mttr=24.0, component_class="filter", priority=2),
+    )
+    repair = RepairUnit(
+        "maintenance",
+        strategy="priority",
+        components=tuple(component.name for component in components),
+        crews=1,
+    )
+    fault_tree = FaultTree(
+        Or(
+            KOfN(2, [BasicEvent("feed_pump1"), BasicEvent("feed_pump2")]),
+            BasicEvent("filter_skid"),
+        )
+    )
+    disaster = Disaster("blackout", ("feed_pump1", "feed_pump2", "filter_skid"))
+    return ArcadeModel(
+        name="pumping_station",
+        components=components,
+        repair_units=(repair,),
+        fault_tree=fault_tree,
+        disasters=(disaster,),
+    )
+
+
+def main() -> None:
+    model = build_custom_model()
+
+    # --- XML round trip --------------------------------------------------
+    with tempfile.TemporaryDirectory() as directory:
+        path = Path(directory) / "pumping_station.xml"
+        write_model(model, path)
+        print(f"wrote {path.name} ({path.stat().st_size} bytes)")
+        restored = read_model(path)
+    print(f"round-tripped model has {len(restored.components)} components, "
+          f"{len(restored.repair_units)} repair unit(s)\n")
+
+    # --- three semantic paths --------------------------------------------
+    direct = build_state_space(restored)
+    modules_result = build_ctmc(arcade_to_modules(restored))
+    iomc_chain = arcade_iomc_ctmc(restored)
+
+    def availability_of(chain) -> float:
+        distribution = steady_state_distribution(chain)
+        return float(distribution[chain.label_mask("operational")].sum())
+
+    print("steady-state availability by semantic path:")
+    print(f"  direct state space      : {steady_state_availability(direct):.8f}")
+    print(f"  reactive modules (PRISM): {availability_of(modules_result.chain):.8f}")
+    print(f"  I/O-IMC composition     : {availability_of(iomc_chain):.8f}")
+
+    interval = estimate_availability(restored, horizon=50_000.0, runs=20, seed=7)
+    print(f"  Monte-Carlo estimate    : {interval}\n")
+
+    # --- survivability of the custom disaster -----------------------------
+    for hours in (12.0, 24.0, 48.0):
+        probability = survivability(direct, "blackout", 1.0, hours)
+        print(f"P(full service restored within {hours:>4.0f} h after the blackout) = {probability:.4f}")
+
+
+if __name__ == "__main__":
+    main()

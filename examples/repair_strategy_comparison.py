@@ -1,0 +1,79 @@
+"""Compare repair strategies for the water-treatment facility (Tables 1 and 2).
+
+This example reproduces the paper's core comparison: for each repair
+strategy (dedicated, fastest-repair-first and fastest-failure-first with one
+or two crews) it reports the state-space size and the steady-state
+availability of both process lines, and combines the lines into the overall
+facility availability.
+
+Run with::
+
+    python examples/repair_strategy_comparison.py [--fast]
+
+``--fast`` restricts the sweep to Line 2 (smaller state spaces).
+"""
+
+import argparse
+
+from repro.arcade import build_state_space
+from repro.casestudy import PAPER_STRATEGIES, build_line1, build_line2
+from repro.casestudy.reporting import format_table
+from repro.measures import combined_availability, steady_state_availability
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--fast", action="store_true", help="analyse Line 2 only")
+    args = parser.parse_args()
+
+    rows = []
+    for configuration in PAPER_STRATEGIES:
+        line2 = build_state_space(build_line2(configuration.strategy, configuration.crews))
+        availability2 = steady_state_availability(line2)
+        if args.fast:
+            rows.append(
+                (configuration.label, line2.num_states, line2.num_transitions, availability2)
+            )
+            continue
+        line1 = build_state_space(build_line1(configuration.strategy, configuration.crews))
+        availability1 = steady_state_availability(line1)
+        rows.append(
+            (
+                configuration.label,
+                line1.num_states,
+                line1.num_transitions,
+                line2.num_states,
+                line2.num_transitions,
+                availability1,
+                availability2,
+                combined_availability([availability1, availability2]),
+            )
+        )
+
+    if args.fast:
+        headers = ("strategy", "line2 states", "line2 transitions", "line2 availability")
+        title = "Repair strategies, Line 2 only"
+    else:
+        headers = (
+            "strategy",
+            "line1 states",
+            "line1 transitions",
+            "line2 states",
+            "line2 transitions",
+            "line1 availability",
+            "line2 availability",
+            "combined",
+        )
+        title = "Repair strategies for the water-treatment facility (Tables 1 and 2)"
+    print(format_table(headers, rows, title=title))
+
+    best = max(rows, key=lambda row: row[-1])
+    print(
+        f"\nHighest availability: {best[0]} — but note (as the paper does) that dedicated "
+        "repair needs one crew per component; among the realistic strategies the two-crew "
+        "variants come within a fraction of a percent of it."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Quantitative survivability after a disaster (Figures 8 and 9 of the paper).
+
+The example analyses Line 2 of the water-treatment facility after
+Disaster 2 (two pumps, one softener, one sand filter and the reservoir have
+failed):
+
+* it lists the attainable service levels and the service intervals
+  X1 ... X4 they induce,
+* it computes, for a selection of repair strategies, the probability of
+  recovering to the lowest and to the second-highest service interval
+  within t hours, and prints the curves as ASCII plots,
+* it shows the cost trade-off by printing the accumulated repair cost after
+  the disaster.
+
+Run with::
+
+    python examples/survivability_analysis.py [--horizon HOURS]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.arcade import build_state_space
+from repro.casestudy import DISASTER_2, build_line2
+from repro.casestudy.reporting import ascii_plot, format_table
+from repro.measures import (
+    accumulated_cost,
+    service_intervals,
+    survivability_curve,
+)
+
+STRATEGIES = (
+    ("DED", "dedicated", 1),
+    ("FRF-1", "fastest_repair_first", 1),
+    ("FRF-2", "fastest_repair_first", 2),
+    ("FFF-1", "fastest_failure_first", 1),
+    ("FFF-2", "fastest_failure_first", 2),
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--horizon", type=float, default=100.0, help="time horizon in hours")
+    parser.add_argument("--points", type=int, default=41, help="grid points per curve")
+    args = parser.parse_args()
+
+    intervals = service_intervals(build_line2())
+    print("Service intervals of Line 2 (X1 ... X4):")
+    for index, (low, high) in enumerate(intervals, start=1):
+        rendering = f"[{low}, {high})" if low != high else f"[{low}, {high}]"
+        print(f"  X{index} = {rendering}")
+    print()
+
+    spaces = {
+        label: build_state_space(build_line2(strategy, crews))
+        for label, strategy, crews in STRATEGIES
+    }
+
+    for interval_name, interval_index in (("X1", 0), ("X3", 2)):
+        threshold = intervals[interval_index][0]
+        series = {}
+        times = np.linspace(0.0, args.horizon, args.points)
+        for label, space in spaces.items():
+            _, values = survivability_curve(
+                space, DISASTER_2, threshold, args.horizon, args.points
+            )
+            series[label] = values
+        print(
+            ascii_plot(
+                times,
+                series,
+                title=f"Recovery of Line 2 to service interval {interval_name} after Disaster 2",
+                y_label="P(recovered)",
+            )
+        )
+        print()
+
+    rows = []
+    for label, space in spaces.items():
+        rows.append(
+            (
+                label,
+                accumulated_cost(space, 10.0, DISASTER_2),
+                accumulated_cost(space, args.horizon, DISASTER_2),
+            )
+        )
+    print(
+        format_table(
+            ("strategy", "cost after 10 h", f"cost after {args.horizon:g} h"),
+            rows,
+            title="Accumulated repair cost after Disaster 2",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

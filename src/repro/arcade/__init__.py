@@ -1,0 +1,71 @@
+"""The Arcade architectural dependability framework.
+
+Arcade (ARChitecturAl Dependability Evaluation, Boudali et al., DSN 2008)
+describes a system as a set of
+
+* **basic components** (:class:`~repro.arcade.components.BasicComponent`) —
+  operational/failed behaviour with exponential failure and repair times,
+  optionally with reduced *dormant* failure rates while standing by as a
+  spare,
+* **repair units** (:class:`~repro.arcade.repair.RepairUnit`) — responsible
+  for repairing a set of components according to a repair strategy
+  (dedicated, first-come-first-served, fastest-repair-first,
+  fastest-failure-first, or fixed priority) with one or more repair crews,
+* **spare management units** (:class:`~repro.arcade.spares.SpareManagementUnit`)
+  — activating spare components when primaries are down,
+
+plus a **fault tree** over component failures that defines when the system
+is down, and (in this reproduction, following the DSN 2010 paper) a derived
+**service tree** assigning each state a quantitative service level in
+``[0, 1]``, and **cost annotations** for crews and components.
+
+An :class:`~repro.arcade.model.ArcadeModel` bundles all of the above and can
+be
+
+* serialised to and parsed from XML (:mod:`~repro.arcade.xml_io`),
+* translated into stochastic reactive modules
+  (:mod:`~repro.arcade.to_modules`) — the paper's "translate to PRISM" path,
+* translated into I/O-IMCs (:mod:`~repro.arcade.to_iomc`) — the original
+  Arcade semantics, used for cross-validation,
+* expanded directly into a labelled CTMC with reward structures
+  (:mod:`~repro.arcade.statespace`) — the fast path used by the experiments.
+"""
+
+from repro.arcade.components import BasicComponent
+from repro.arcade.costs import CostModel
+from repro.arcade.fault_tree import (
+    And,
+    BasicEvent,
+    FaultTree,
+    KOfN,
+    Or,
+    ServiceTree,
+)
+from repro.arcade.model import ArcadeModel
+from repro.arcade.repair import RepairStrategy, RepairUnit
+from repro.arcade.spares import SpareManagementUnit
+from repro.arcade.statespace import ArcadeStateSpace, build_state_space
+from repro.arcade.to_modules import arcade_to_modules
+from repro.arcade.xml_io import model_from_xml, model_to_xml, read_model, write_model
+
+__all__ = [
+    "And",
+    "ArcadeModel",
+    "ArcadeStateSpace",
+    "BasicComponent",
+    "BasicEvent",
+    "CostModel",
+    "FaultTree",
+    "KOfN",
+    "Or",
+    "RepairStrategy",
+    "RepairUnit",
+    "ServiceTree",
+    "SpareManagementUnit",
+    "arcade_to_modules",
+    "build_state_space",
+    "model_from_xml",
+    "model_to_xml",
+    "read_model",
+    "write_model",
+]

@@ -1,0 +1,155 @@
+"""Basic components of an Arcade model.
+
+A basic component (BC) models a physical or logical part of the system with
+an *operational* and a *failed* mode.  Failure and repair times are
+exponentially distributed; the user may specify them either as rates or as
+mean times (MTTF / MTTR), whichever is more natural — the paper's Figure 2
+gives mean times.
+
+Components may additionally carry
+
+* a *dormant* failure rate used while the component is held in standby by a
+  spare management unit (``dormancy_factor`` scales the active failure
+  rate; 1.0 = hot spare, 0.0 = cold spare),
+* a *priority* used by priority-scheduled repair units and to fix the
+  repair order of Given-Occurrence-Of-Disaster models (Section 5 of the
+  paper), and
+* a *component class* name (e.g. ``"pump"``) used for reporting and for
+  grouping identically-behaving components.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+
+class ArcadeModelError(ValueError):
+    """Raised when an Arcade model element is ill-formed."""
+
+
+@dataclass(frozen=True)
+class BasicComponent:
+    """A repairable component with exponential failure and repair behaviour.
+
+    Parameters
+    ----------
+    name:
+        Unique component name, e.g. ``"line1_pump1"``.
+    mttf:
+        Mean time to failure (hours) while the component is active.
+    mttr:
+        Mean time to repair (hours) once a repair crew works on it.
+    component_class:
+        Free-form class name used for grouping in reports (``"pump"``,
+        ``"softening_tank"``, ...).  Defaults to the component name.
+    priority:
+        Repair priority; smaller numbers are repaired first by
+        priority-scheduled repair units and come first in the initial repair
+        queue of a disaster (GOOD) model.
+    dormancy_factor:
+        Factor applied to the failure rate while the component is a dormant
+        (standby) spare: ``1.0`` models a hot spare, ``0.0`` a cold spare and
+        values in between a warm spare.
+    failure_modes:
+        Names of the component's failure modes.  The paper's case study uses
+        single-mode components; multiple modes are supported by the direct
+        state-space generator by treating each mode as leading to the same
+        failed state (the failure rate is split evenly across the modes).
+    """
+
+    name: str
+    mttf: float
+    mttr: float
+    component_class: str = ""
+    priority: int = 0
+    dormancy_factor: float = 1.0
+    failure_modes: tuple[str, ...] = ("failed",)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ArcadeModelError("a component needs a non-empty name")
+        if self.mttf <= 0:
+            raise ArcadeModelError(f"component {self.name!r}: MTTF must be positive")
+        if self.mttr <= 0:
+            raise ArcadeModelError(f"component {self.name!r}: MTTR must be positive")
+        if not 0.0 <= self.dormancy_factor <= 1.0:
+            raise ArcadeModelError(
+                f"component {self.name!r}: dormancy factor must be in [0, 1]"
+            )
+        if not self.failure_modes:
+            raise ArcadeModelError(f"component {self.name!r}: needs at least one failure mode")
+        if not self.component_class:
+            object.__setattr__(self, "component_class", self.name)
+
+    # ------------------------------------------------------------------
+    # rate conversions
+    # ------------------------------------------------------------------
+    @property
+    def failure_rate(self) -> float:
+        """Failure rate (per hour) while active: ``1 / MTTF``."""
+        return 1.0 / self.mttf
+
+    @property
+    def dormant_failure_rate(self) -> float:
+        """Failure rate while dormant: ``dormancy_factor / MTTF``."""
+        return self.dormancy_factor / self.mttf
+
+    @property
+    def repair_rate(self) -> float:
+        """Repair rate (per hour) while being repaired: ``1 / MTTR``."""
+        return 1.0 / self.mttr
+
+    @property
+    def availability(self) -> float:
+        """Stand-alone steady-state availability ``MTTF / (MTTF + MTTR)``.
+
+        Exact for a component with its own dedicated repair crew; used by
+        tests as an analytic oracle.
+        """
+        return self.mttf / (self.mttf + self.mttr)
+
+    @staticmethod
+    def from_rates(
+        name: str,
+        failure_rate: float,
+        repair_rate: float,
+        **kwargs: object,
+    ) -> "BasicComponent":
+        """Construct a component from rates instead of mean times."""
+        if failure_rate <= 0 or repair_rate <= 0:
+            raise ArcadeModelError(f"component {name!r}: rates must be positive")
+        return BasicComponent(name, 1.0 / failure_rate, 1.0 / repair_rate, **kwargs)  # type: ignore[arg-type]
+
+    def renamed(self, name: str) -> "BasicComponent":
+        """Return a copy with a different name (keeps the class name)."""
+        return replace(self, name=name, component_class=self.component_class)
+
+    def with_priority(self, priority: int) -> "BasicComponent":
+        """Return a copy with a different repair priority."""
+        return replace(self, priority=priority)
+
+
+@dataclass(frozen=True)
+class ComponentGroup:
+    """A convenience bundle of identically-parameterised components.
+
+    Not part of the Arcade formalism itself; used by model builders (e.g. the
+    water-treatment case study) to create ``n`` copies of a template
+    component with systematic names.
+    """
+
+    template: BasicComponent
+    count: int
+    name_format: str = "{base}{index}"
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ArcadeModelError("a component group needs at least one member")
+
+    def members(self) -> list[BasicComponent]:
+        """Instantiate the group's components (1-based indices)."""
+        components = []
+        for index in range(1, self.count + 1):
+            name = self.name_format.format(base=self.template.name, index=index)
+            components.append(self.template.renamed(name))
+        return components

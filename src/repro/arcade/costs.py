@@ -1,0 +1,91 @@
+"""Cost annotations for Arcade models.
+
+The DSN 2010 paper extends Arcade with costs so that repair strategies can
+be compared economically:
+
+    "In the model each RU has a cost of one per hour when idle and cost of
+    zero when working.  For a BC a cost of zero is applied when operational
+    and three per hour when failed."  (Section 5)
+
+:class:`CostModel` captures exactly these four rate parameters plus optional
+per-repair impulse costs, with per-component and per-repair-unit overrides.
+The state-space generators turn a cost model into a
+:class:`repro.ctmc.RewardStructure` named ``"cost"``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from collections.abc import Mapping
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Hourly cost rates (and optional impulse costs) of an Arcade model.
+
+    Parameters
+    ----------
+    component_down_cost:
+        Cost per hour while a component is failed (paper: 3).
+    component_up_cost:
+        Cost per hour while a component is operational (paper: 0).
+    crew_idle_cost:
+        Cost per hour per idle repair crew (paper: 1).
+    crew_busy_cost:
+        Cost per hour per busy repair crew (paper: 0).
+    repair_impulse_cost:
+        One-off cost charged for every completed repair (paper: 0).
+    component_down_overrides / component_up_overrides:
+        Optional per-component-name overrides of the hourly rates.
+    """
+
+    component_down_cost: float = 3.0
+    component_up_cost: float = 0.0
+    crew_idle_cost: float = 1.0
+    crew_busy_cost: float = 0.0
+    repair_impulse_cost: float = 0.0
+    component_down_overrides: Mapping[str, float] = field(default_factory=dict)
+    component_up_overrides: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for value, label in [
+            (self.component_down_cost, "component_down_cost"),
+            (self.component_up_cost, "component_up_cost"),
+            (self.crew_idle_cost, "crew_idle_cost"),
+            (self.crew_busy_cost, "crew_busy_cost"),
+            (self.repair_impulse_cost, "repair_impulse_cost"),
+        ]:
+            if value < 0:
+                raise ValueError(f"{label} must be non-negative, got {value}")
+        object.__setattr__(self, "component_down_overrides", dict(self.component_down_overrides))
+        object.__setattr__(self, "component_up_overrides", dict(self.component_up_overrides))
+
+    # ------------------------------------------------------------------
+    def down_cost(self, component_name: str) -> float:
+        """Hourly cost of ``component_name`` while failed."""
+        return float(self.component_down_overrides.get(component_name, self.component_down_cost))
+
+    def up_cost(self, component_name: str) -> float:
+        """Hourly cost of ``component_name`` while operational."""
+        return float(self.component_up_overrides.get(component_name, self.component_up_cost))
+
+    def crew_cost(self, idle_crews: int, busy_crews: int) -> float:
+        """Hourly cost of a repair unit with the given crew occupation."""
+        if idle_crews < 0 or busy_crews < 0:
+            raise ValueError("crew counts must be non-negative")
+        return idle_crews * self.crew_idle_cost + busy_crews * self.crew_busy_cost
+
+    @staticmethod
+    def paper_default() -> "CostModel":
+        """The cost parameters used in the paper's evaluation (Section 5)."""
+        return CostModel(
+            component_down_cost=3.0,
+            component_up_cost=0.0,
+            crew_idle_cost=1.0,
+            crew_busy_cost=0.0,
+        )
+
+    @staticmethod
+    def zero() -> "CostModel":
+        """A cost model in which everything is free (useful in tests)."""
+        return CostModel(0.0, 0.0, 0.0, 0.0, 0.0)

@@ -1,0 +1,104 @@
+"""Spare management units.
+
+A spare management unit (SMU) watches over a group of interchangeable
+components of which only ``required`` need to be operational for the group
+to deliver full service; the remaining members are spares.  The unit
+determines which up components are *active* and which are *dormant*
+(standing by):
+
+* active components fail at their full failure rate,
+* dormant components fail at their dormant rate
+  (``dormancy_factor / MTTF`` — hot spares use factor 1, cold spares 0).
+
+In the water-treatment case study the pumps form such groups — "(3+1)" in
+Line 1 and "(2+1)" in Line 2 — and the paper treats the spare pumps as hot
+spares (all four pumps of Line 1 "can fail", Section 5), which is the
+default here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Iterable, Mapping, Sequence
+
+from repro.arcade.components import ArcadeModelError, BasicComponent
+
+
+@dataclass(frozen=True)
+class SpareManagementUnit:
+    """A group of interchangeable components with spares.
+
+    Parameters
+    ----------
+    name:
+        Unique unit name.
+    components:
+        The member component names, in activation-preference order: the
+        first ``required`` up members are activated.
+    required:
+        Number of active components needed for the group to deliver full
+        service.
+    """
+
+    name: str
+    components: tuple[str, ...]
+    required: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "components", tuple(self.components))
+        if not self.name:
+            raise ArcadeModelError("a spare management unit needs a non-empty name")
+        if len(set(self.components)) != len(self.components):
+            raise ArcadeModelError(f"spare unit {self.name!r} lists a component twice")
+        if not 1 <= self.required <= len(self.components):
+            raise ArcadeModelError(
+                f"spare unit {self.name!r}: required count {self.required} must be between 1 "
+                f"and the group size {len(self.components)}"
+            )
+
+    @property
+    def spares(self) -> int:
+        """Number of spare members beyond the required count."""
+        return len(self.components) - self.required
+
+    def covers(self, component_name: str) -> bool:
+        return component_name in self.components
+
+    def active_members(self, up_components: Iterable[str]) -> tuple[str, ...]:
+        """The members activated in a state where ``up_components`` are operational.
+
+        The first ``required`` up members (in preference order) are active;
+        any further up members stand by as dormant spares.
+        """
+        up = set(up_components)
+        active: list[str] = []
+        for name in self.components:
+            if name in up:
+                active.append(name)
+                if len(active) == self.required:
+                    break
+        return tuple(active)
+
+    def is_active(self, component_name: str, up_components: Iterable[str]) -> bool:
+        """Whether ``component_name`` is active (rather than dormant) in the state."""
+        if component_name not in self.components:
+            raise ArcadeModelError(
+                f"component {component_name!r} is not managed by spare unit {self.name!r}"
+            )
+        return component_name in self.active_members(up_components)
+
+    def delivers_service(self, up_components: Iterable[str]) -> bool:
+        """Whether the group can deliver full service in the given state."""
+        up = set(up_components)
+        available = sum(1 for name in self.components if name in up)
+        return available >= self.required
+
+    def failure_rate(
+        self,
+        component: BasicComponent,
+        up_components: Iterable[str],
+    ) -> float:
+        """Effective failure rate of a member in the given state."""
+        if self.is_active(component.name, up_components):
+            return component.failure_rate
+        return component.dormant_failure_rate

@@ -1,0 +1,162 @@
+"""Translation of Arcade models into I/O-IMCs (the original Arcade semantics).
+
+Every basic component and every repair unit becomes one I/O-IMC; the whole
+model is their parallel composition with the ``failed_*``/``repaired_*``
+signals hidden.  The encoding mirrors the DSN 2008 Arcade paper:
+
+* a **basic component** ``c`` delays exponentially with its failure rate,
+  then *announces* its failure with the output ``failed_c!`` and waits in
+  the failed state for the input ``repaired_c?``,
+* a **repair unit** listens to the ``failed_*`` announcements of the
+  components it covers, keeps its repair queue (ordered by the unit's
+  strategy), spends an exponential repair time on each component in
+  service, and announces completion with ``repaired_c!``.
+
+After composition, hiding and maximal progress, the result is a CTMC that
+the test suite compares (via lumping and via the computed measures) against
+the reactive-modules translation and the direct state-space generator —
+the "the two translations agree" claim of the paper's Section 2.
+
+Limitations (by design of the comparison, not of the formalism): dormant
+failure rates different from the active rate are not supported here, and
+neither are components without a repair unit; both are features the case
+study does not exercise through this path.
+"""
+
+from __future__ import annotations
+
+from repro.arcade.components import ArcadeModelError, BasicComponent
+from repro.arcade.model import ArcadeModel
+from repro.arcade.repair import RepairStrategy, RepairUnit
+from repro.ctmc import CTMC
+from repro.iomc import IOIMC, Signature, compose_many, hide, to_ctmc
+
+
+def component_to_iomc(component: BasicComponent, repaired_by_unit: bool) -> IOIMC:
+    """The I/O-IMC of a basic component.
+
+    States: ``"up"`` (operational), ``"announcing"`` (failure happened, about
+    to be announced), ``"down"`` (failed, waiting for repair).
+    """
+    fail_action = f"failed_{component.name}"
+    repair_action = f"repaired_{component.name}"
+    if repaired_by_unit:
+        signature = Signature(inputs={repair_action}, outputs={fail_action})
+    else:
+        signature = Signature(internals={fail_action})
+    model = IOIMC(name=f"bc_{component.name}", signature=signature)
+    model.add_state("up", description={component.name: "up"}, initial=True)
+    model.add_state("announcing", description={component.name: "announcing"})
+    model.add_state("down", description={component.name: "down"})
+    model.add_markovian("up", component.failure_rate, "announcing")
+    model.add_interactive("announcing", fail_action, "down")
+    if repaired_by_unit:
+        model.add_interactive("down", repair_action, "up")
+    return model
+
+
+def repair_unit_to_iomc(unit: RepairUnit, model: ArcadeModel) -> IOIMC:
+    """The I/O-IMC of a repair unit (any strategy, any crew count).
+
+    The state is the unit's repair queue, optionally paired with the name of
+    a component whose repair has just finished and must still be announced
+    (``repaired_c!``); the queue transitions replicate exactly the logic of
+    :class:`repro.arcade.repair.RepairUnit`, so the composition agrees with
+    the direct state-space generator by construction.
+    """
+    components_by_name = model.components_by_name()
+    inputs = {f"failed_{name}" for name in unit.components}
+    outputs = {f"repaired_{name}" for name in unit.components}
+    automaton = IOIMC(
+        name=f"ru_{unit.name}",
+        signature=Signature(inputs=frozenset(inputs), outputs=frozenset(outputs)),
+    )
+
+    initial = ((), None)
+    automaton.add_state(initial, description={unit.name: []}, initial=True)
+    frontier = [initial]
+    seen = {initial}
+
+    def register(state) -> None:
+        if state not in seen:
+            seen.add(state)
+            queue, announcing = state
+            description = {unit.name: list(queue)}
+            if announcing:
+                description["announcing"] = announcing
+            automaton.add_state(state, description=description)
+            frontier.append(state)
+
+    while frontier:
+        state = frontier.pop()
+        queue, announcing = state
+
+        if announcing is not None:
+            # Announce the finished repair before doing anything else.
+            target = (queue, None)
+            register(target)
+            automaton.add_interactive(state, f"repaired_{announcing}", target)
+            continue
+
+        # React to failure announcements of currently-up components.
+        for name in unit.components:
+            if name in queue:
+                continue
+            new_queue = unit.insert(queue, components_by_name[name], components_by_name)
+            target = (new_queue, None)
+            register(target)
+            automaton.add_interactive(state, f"failed_{name}", target)
+
+        # Repair the components in service.
+        for name in unit.in_service(queue):
+            new_queue = unit.remove(queue, name)
+            target = (new_queue, name)
+            register(target)
+            automaton.add_markovian(state, components_by_name[name].repair_rate, target)
+
+    return automaton
+
+
+def arcade_to_iomc(model: ArcadeModel) -> IOIMC:
+    """Translate ``model`` into the parallel composition of its I/O-IMCs.
+
+    The ``failed_*``/``repaired_*`` synchronisation actions are hidden, so
+    the result is ready for :func:`repro.iomc.to_ctmc`.
+    """
+    for component in model.components:
+        spare_unit = model.spare_unit_of(component.name)
+        if spare_unit is not None and component.dormancy_factor != 1.0:
+            raise ArcadeModelError(
+                "the I/O-IMC translation supports hot spares only "
+                f"(component {component.name!r} has dormancy factor {component.dormancy_factor})"
+            )
+    parts = []
+    for component in model.components:
+        repaired = model.repair_unit_of(component.name) is not None
+        parts.append(component_to_iomc(component, repaired))
+    for unit in model.repair_units:
+        parts.append(repair_unit_to_iomc(unit, model))
+    composed = compose_many(parts, name=f"arcade_{model.name}")
+    return hide(composed)
+
+
+def arcade_iomc_ctmc(model: ArcadeModel) -> CTMC:
+    """Full pipeline: translate, compose, hide, apply maximal progress, build the CTMC.
+
+    The CTMC is labelled ``"down"``/``"operational"`` using the model's fault
+    tree, evaluated on each composed state's component statuses.
+    """
+    composed = arcade_to_iomc(model)
+
+    def labels(description) -> list[str]:
+        failed = set()
+        for part in description:
+            if isinstance(part, dict):
+                for key, value in part.items():
+                    if value == "down":
+                        failed.add(key)
+        if model.fault_tree is None:
+            return []
+        return ["down"] if model.is_down(failed) else ["operational"]
+
+    return to_ctmc(composed, label_fn=labels)

@@ -1,0 +1,52 @@
+"""The water-treatment facility case study (Section 4 of the paper).
+
+:mod:`~repro.casestudy.facility` builds the two process lines of the
+simplified water-treatment facility as :class:`repro.arcade.ArcadeModel`
+instances, parameterised by repair strategy and crew count, and defines the
+two disasters analysed in the paper.  :mod:`~repro.casestudy.experiments`
+contains one function per table and figure of the evaluation section, and
+:mod:`~repro.casestudy.reporting` renders their results as text tables, CSV
+and ASCII plots.
+"""
+
+from repro.casestudy.facility import (
+    DISASTER_1,
+    DISASTER_2,
+    LINE1,
+    LINE2,
+    PAPER_STRATEGIES,
+    StrategyConfiguration,
+    build_line1,
+    build_line2,
+    paper_strategy_configurations,
+)
+from repro.casestudy.experiments import (
+    figure10_11_costs_line2,
+    figure3_reliability,
+    figure4_5_survivability_line1,
+    figure6_7_costs_line1,
+    figure8_9_survivability_line2,
+    run_all_experiments,
+    table1_state_space,
+    table2_availability,
+)
+
+__all__ = [
+    "DISASTER_1",
+    "DISASTER_2",
+    "LINE1",
+    "LINE2",
+    "PAPER_STRATEGIES",
+    "StrategyConfiguration",
+    "build_line1",
+    "build_line2",
+    "figure10_11_costs_line2",
+    "figure3_reliability",
+    "figure4_5_survivability_line1",
+    "figure6_7_costs_line1",
+    "figure8_9_survivability_line2",
+    "paper_strategy_configurations",
+    "run_all_experiments",
+    "table1_state_space",
+    "table2_availability",
+]

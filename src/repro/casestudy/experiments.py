@@ -1,0 +1,398 @@
+"""One function per table and figure of the paper's evaluation (Section 5).
+
+Every function returns a small result object carrying the raw numbers plus
+``to_text()`` / ``to_csv()`` renderings, so the same code serves the
+command-line front end, the benchmark harness and EXPERIMENTS.md.
+
+State spaces are expensive to rebuild, so :func:`line_state_space` caches
+them per (line, strategy, crews) combination for the lifetime of the
+process; :func:`clear_cache` empties the cache (used by benchmarks that want
+to measure construction time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+
+import numpy as np
+
+from repro.arcade.repair import RepairStrategy
+from repro.arcade.statespace import ArcadeStateSpace, build_state_space
+from repro.casestudy.facility import (
+    DISASTER_1,
+    DISASTER_2,
+    LINE1,
+    LINE2,
+    PAPER_STRATEGIES,
+    StrategyConfiguration,
+    build_line,
+)
+from repro.casestudy.reporting import ascii_plot, curves_to_csv, format_table
+from repro.measures import (
+    accumulated_cost_curve,
+    combined_availability,
+    instantaneous_cost_curve,
+    reliability_curve,
+    steady_state_availability,
+    survivability_curve,
+)
+
+# ---------------------------------------------------------------------------
+# state-space cache
+# ---------------------------------------------------------------------------
+_SPACE_CACHE: dict[tuple[str, str, int, bool], ArcadeStateSpace] = {}
+
+
+def line_state_space(
+    line: str,
+    configuration: StrategyConfiguration,
+    with_repairs: bool = True,
+) -> ArcadeStateSpace:
+    """Build (or fetch from cache) the state space of a line under a strategy."""
+    key = (line, configuration.strategy.value, configuration.crews, with_repairs)
+    if key not in _SPACE_CACHE:
+        model = build_line(line, configuration.strategy, configuration.crews)
+        _SPACE_CACHE[key] = build_state_space(model, with_repairs=with_repairs)
+    return _SPACE_CACHE[key]
+
+
+def clear_cache() -> None:
+    """Drop all cached state spaces."""
+    _SPACE_CACHE.clear()
+
+
+# ---------------------------------------------------------------------------
+# result containers
+# ---------------------------------------------------------------------------
+@dataclass
+class TableResult:
+    """A tabular experiment result."""
+
+    title: str
+    headers: tuple[str, ...]
+    rows: list[tuple]
+
+    def to_text(self) -> str:
+        return format_table(self.headers, self.rows, title=self.title)
+
+    def to_csv(self) -> str:
+        lines = [",".join(self.headers)]
+        for row in self.rows:
+            lines.append(",".join(str(value) for value in row))
+        return "\n".join(lines)
+
+    def column(self, name: str) -> list:
+        index = self.headers.index(name)
+        return [row[index] for row in self.rows]
+
+    def row_by(self, key_column: str, key: object) -> tuple:
+        index = self.headers.index(key_column)
+        for row in self.rows:
+            if row[index] == key:
+                return row
+        raise KeyError(f"no row with {key_column}={key!r}")
+
+
+@dataclass
+class CurveResult:
+    """A figure-style experiment result: several series over a time grid."""
+
+    title: str
+    times: np.ndarray
+    series: dict[str, np.ndarray]
+    y_label: str = "probability"
+
+    def to_csv(self) -> str:
+        return curves_to_csv(self.times, self.series)
+
+    def to_text(self, width: int = 72, height: int = 18) -> str:
+        return ascii_plot(
+            self.times, self.series, width=width, height=height,
+            title=self.title, y_label=self.y_label,
+        )
+
+    def value_at(self, name: str, time: float) -> float:
+        """Value of one series at the grid point closest to ``time``."""
+        index = int(np.argmin(np.abs(self.times - time)))
+        return float(self.series[name][index])
+
+    def final_value(self, name: str) -> float:
+        return float(self.series[name][-1])
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — state-space sizes
+# ---------------------------------------------------------------------------
+def table1_state_space(
+    configurations: tuple[StrategyConfiguration, ...] = PAPER_STRATEGIES,
+) -> TableResult:
+    """State-space sizes (states, transitions) per strategy for both lines."""
+    rows = []
+    for configuration in configurations:
+        line1 = line_state_space(LINE1, configuration)
+        line2 = line_state_space(LINE2, configuration)
+        rows.append(
+            (
+                configuration.label,
+                line1.num_states,
+                line1.num_transitions,
+                line2.num_states,
+                line2.num_transitions,
+            )
+        )
+    return TableResult(
+        title="Table 1: state space per repair strategy",
+        headers=("strategy", "line1_states", "line1_transitions", "line2_states", "line2_transitions"),
+        rows=rows,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Table 2 — steady-state availability
+# ---------------------------------------------------------------------------
+def table2_availability(
+    configurations: tuple[StrategyConfiguration, ...] = PAPER_STRATEGIES,
+) -> TableResult:
+    """Steady-state availability per strategy (line 1, line 2, combined)."""
+    rows = []
+    for configuration in configurations:
+        availability1 = steady_state_availability(line_state_space(LINE1, configuration))
+        availability2 = steady_state_availability(line_state_space(LINE2, configuration))
+        rows.append(
+            (
+                configuration.label,
+                availability1,
+                availability2,
+                combined_availability([availability1, availability2]),
+            )
+        )
+    return TableResult(
+        title="Table 2: steady-state availability per repair strategy",
+        headers=("strategy", "line1", "line2", "combined"),
+        rows=rows,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — reliability over time
+# ---------------------------------------------------------------------------
+def figure3_reliability(horizon: float = 1000.0, points: int = 101) -> CurveResult:
+    """Reliability of both lines over ``[0, horizon]`` hours (no repairs)."""
+    configuration = StrategyConfiguration(RepairStrategy.DEDICATED, 1)
+    series: dict[str, np.ndarray] = {}
+    times = None
+    for line, label in ((LINE1, "line1"), (LINE2, "line2")):
+        space = line_state_space(line, configuration, with_repairs=False)
+        times, values = reliability_curve(space, horizon, points)
+        series[label] = np.asarray(values)
+    assert times is not None
+    return CurveResult(
+        title="Figure 3: reliability over time (no repairs)",
+        times=times,
+        series=series,
+        y_label="reliability",
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 4/5 — survivability, Line 1, Disaster 1
+# ---------------------------------------------------------------------------
+_LINE1_SURVIVABILITY_STRATEGIES = (
+    StrategyConfiguration(RepairStrategy.DEDICATED, 1),
+    StrategyConfiguration(RepairStrategy.FASTEST_REPAIR_FIRST, 1),
+    StrategyConfiguration(RepairStrategy.FASTEST_REPAIR_FIRST, 2),
+)
+
+
+def _line_service_interval_lower(line: str, interval_index: int) -> Fraction:
+    configuration = StrategyConfiguration(RepairStrategy.DEDICATED, 1)
+    space = line_state_space(line, configuration)
+    intervals = space.model.effective_service_tree().service_intervals()
+    return intervals[interval_index][0]
+
+
+def _survivability_figure(
+    line: str,
+    disaster: str,
+    interval_index: int,
+    configurations: tuple[StrategyConfiguration, ...],
+    horizon: float,
+    points: int,
+    title: str,
+) -> CurveResult:
+    threshold = _line_service_interval_lower(line, interval_index)
+    series: dict[str, np.ndarray] = {}
+    times = None
+    for configuration in configurations:
+        space = line_state_space(line, configuration)
+        times, values = survivability_curve(space, disaster, threshold, horizon, points)
+        series[configuration.label] = np.asarray(values)
+    assert times is not None
+    return CurveResult(title=title, times=times, series=series, y_label="P(recovered)")
+
+
+def figure4_5_survivability_line1(
+    horizon: float = 4.5, points: int = 91
+) -> tuple[CurveResult, CurveResult]:
+    """Figures 4 and 5: recovery of Line 1 to X1 and X2 after Disaster 1."""
+    figure4 = _survivability_figure(
+        LINE1, DISASTER_1, 0, _LINE1_SURVIVABILITY_STRATEGIES, horizon, points,
+        "Figure 4: survivability Line 1, Disaster 1, service interval X1",
+    )
+    figure5 = _survivability_figure(
+        LINE1, DISASTER_1, 1, _LINE1_SURVIVABILITY_STRATEGIES, horizon, points,
+        "Figure 5: survivability Line 1, Disaster 1, service interval X2",
+    )
+    return figure4, figure5
+
+
+# ---------------------------------------------------------------------------
+# Figures 6/7 — costs, Line 1, Disaster 1
+# ---------------------------------------------------------------------------
+def _cost_figures(
+    line: str,
+    disaster: str,
+    configurations: tuple[StrategyConfiguration, ...],
+    instantaneous_horizon: float,
+    accumulated_horizon: float,
+    points: int,
+    titles: tuple[str, str],
+) -> tuple[CurveResult, CurveResult]:
+    instantaneous_series: dict[str, np.ndarray] = {}
+    accumulated_series: dict[str, np.ndarray] = {}
+    instantaneous_times = accumulated_times = None
+    for configuration in configurations:
+        space = line_state_space(line, configuration)
+        instantaneous_times, instantaneous_values = instantaneous_cost_curve(
+            space, instantaneous_horizon, disaster, points
+        )
+        accumulated_times, accumulated_values = accumulated_cost_curve(
+            space, accumulated_horizon, disaster, max(2, points // 2)
+        )
+        instantaneous_series[configuration.label] = np.asarray(instantaneous_values)
+        accumulated_series[configuration.label] = np.asarray(accumulated_values)
+    assert instantaneous_times is not None and accumulated_times is not None
+    instantaneous = CurveResult(
+        title=titles[0],
+        times=instantaneous_times,
+        series=instantaneous_series,
+        y_label="cost per hour",
+    )
+    accumulated = CurveResult(
+        title=titles[1],
+        times=accumulated_times,
+        series=accumulated_series,
+        y_label="accumulated cost",
+    )
+    return instantaneous, accumulated
+
+
+def figure6_7_costs_line1(
+    instantaneous_horizon: float = 4.5,
+    accumulated_horizon: float = 10.0,
+    points: int = 46,
+) -> tuple[CurveResult, CurveResult]:
+    """Figures 6 and 7: instantaneous and accumulated cost, Line 1, Disaster 1."""
+    return _cost_figures(
+        LINE1,
+        DISASTER_1,
+        _LINE1_SURVIVABILITY_STRATEGIES,
+        instantaneous_horizon,
+        accumulated_horizon,
+        points,
+        (
+            "Figure 6: instantaneous cost Line 1, Disaster 1",
+            "Figure 7: accumulated cost Line 1, Disaster 1",
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 8/9 — survivability, Line 2, Disaster 2
+# ---------------------------------------------------------------------------
+def figure8_9_survivability_line2(
+    horizon: float = 100.0, points: int = 101
+) -> tuple[CurveResult, CurveResult]:
+    """Figures 8 and 9: recovery of Line 2 to X1 and X3 after Disaster 2."""
+    figure8 = _survivability_figure(
+        LINE2, DISASTER_2, 0, PAPER_STRATEGIES, horizon, points,
+        "Figure 8: survivability Line 2, Disaster 2, service interval X1",
+    )
+    figure9 = _survivability_figure(
+        LINE2, DISASTER_2, 2, PAPER_STRATEGIES, horizon, points,
+        "Figure 9: survivability Line 2, Disaster 2, service interval X3",
+    )
+    return figure8, figure9
+
+
+# ---------------------------------------------------------------------------
+# Figures 10/11 — costs, Line 2, Disaster 2
+# ---------------------------------------------------------------------------
+_LINE2_COST_STRATEGIES = (
+    StrategyConfiguration(RepairStrategy.FASTEST_FAILURE_FIRST, 1),
+    StrategyConfiguration(RepairStrategy.FASTEST_FAILURE_FIRST, 2),
+    StrategyConfiguration(RepairStrategy.FASTEST_REPAIR_FIRST, 1),
+    StrategyConfiguration(RepairStrategy.FASTEST_REPAIR_FIRST, 2),
+)
+
+
+def figure10_11_costs_line2(
+    instantaneous_horizon: float = 50.0,
+    accumulated_horizon: float = 50.0,
+    points: int = 51,
+) -> tuple[CurveResult, CurveResult]:
+    """Figures 10 and 11: instantaneous and accumulated cost, Line 2, Disaster 2."""
+    return _cost_figures(
+        LINE2,
+        DISASTER_2,
+        _LINE2_COST_STRATEGIES,
+        instantaneous_horizon,
+        accumulated_horizon,
+        points,
+        (
+            "Figure 10: instantaneous cost Line 2, Disaster 2",
+            "Figure 11: accumulated cost Line 2, Disaster 2",
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# run everything
+# ---------------------------------------------------------------------------
+@dataclass
+class ExperimentSuiteResult:
+    """All reproduced tables and figures, keyed by their paper identifier."""
+
+    tables: dict[str, TableResult] = field(default_factory=dict)
+    figures: dict[str, CurveResult] = field(default_factory=dict)
+
+    def to_text(self) -> str:
+        parts = [table.to_text() for table in self.tables.values()]
+        parts += [figure.to_text() for figure in self.figures.values()]
+        return "\n\n".join(parts)
+
+
+def run_all_experiments(fast: bool = False) -> ExperimentSuiteResult:
+    """Run every table and figure of the paper and return the results.
+
+    With ``fast=True`` the time grids are coarser (used by smoke tests).
+    """
+    points = 21 if fast else 101
+    result = ExperimentSuiteResult()
+    result.tables["table1"] = table1_state_space()
+    result.tables["table2"] = table2_availability()
+    result.figures["figure3"] = figure3_reliability(points=points)
+    figure4, figure5 = figure4_5_survivability_line1(points=max(points, 10))
+    result.figures["figure4"] = figure4
+    result.figures["figure5"] = figure5
+    figure6, figure7 = figure6_7_costs_line1(points=max(points // 2, 10))
+    result.figures["figure6"] = figure6
+    result.figures["figure7"] = figure7
+    figure8, figure9 = figure8_9_survivability_line2(points=points)
+    result.figures["figure8"] = figure8
+    result.figures["figure9"] = figure9
+    figure10, figure11 = figure10_11_costs_line2(points=max(points // 2, 10))
+    result.figures["figure10"] = figure10
+    result.figures["figure11"] = figure11
+    return result

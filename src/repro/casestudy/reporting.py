@@ -1,0 +1,111 @@
+"""Rendering of experiment results: text tables, CSV and ASCII plots.
+
+The original figures were produced with gnuplot; this reproduction has no
+plotting dependency, so curves are rendered as
+
+* CSV text (one column per series) for further processing, and
+* a simple ASCII line plot for quick visual inspection in a terminal.
+
+Both are deliberately dependency-free so the benchmark harness runs in the
+offline test environment.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+import numpy as np
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str | None = None,
+) -> str:
+    """Render a simple aligned text table."""
+    columns = len(headers)
+    for row in rows:
+        if len(row) != columns:
+            raise ValueError("all rows must have as many entries as there are headers")
+    cells = [[str(header) for header in headers]] + [
+        [_format_cell(value) for value in row] for row in rows
+    ]
+    widths = [max(len(row[i]) for row in cells) for i in range(columns)]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(cell.ljust(width) for cell, width in zip(cells[0], widths)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(cell.ljust(width) for cell, width in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _format_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.7g}"
+    return str(value)
+
+
+def curves_to_csv(
+    times: np.ndarray,
+    series: Mapping[str, np.ndarray],
+    time_label: str = "t",
+) -> str:
+    """Render one or more curves over a shared time grid as CSV text."""
+    names = list(series)
+    for name in names:
+        if len(series[name]) != len(times):
+            raise ValueError(f"series {name!r} has a different length than the time grid")
+    lines = [",".join([time_label, *names])]
+    for index, time in enumerate(times):
+        row = [f"{time:.6g}"] + [f"{series[name][index]:.8g}" for name in names]
+        lines.append(",".join(row))
+    return "\n".join(lines)
+
+
+def ascii_plot(
+    times: np.ndarray,
+    series: Mapping[str, np.ndarray],
+    width: int = 72,
+    height: int = 18,
+    title: str | None = None,
+    y_label: str = "",
+) -> str:
+    """Render curves as a crude ASCII plot (one marker character per series)."""
+    markers = "*+x#o@%&"
+    names = list(series)
+    if not names:
+        raise ValueError("ascii_plot needs at least one series")
+    all_values = np.concatenate([np.asarray(series[name], dtype=float) for name in names])
+    y_min = float(np.nanmin(all_values))
+    y_max = float(np.nanmax(all_values))
+    if y_max == y_min:
+        y_max = y_min + 1.0
+    t_min = float(times[0])
+    t_max = float(times[-1]) if float(times[-1]) != t_min else t_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, name in enumerate(names):
+        marker = markers[series_index % len(markers)]
+        values = np.asarray(series[name], dtype=float)
+        for time, value in zip(times, values):
+            column = int(round((time - t_min) / (t_max - t_min) * (width - 1)))
+            row = int(round((value - y_min) / (y_max - y_min) * (height - 1)))
+            grid[height - 1 - row][column] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{y_max:10.4g} +" + "".join(grid[0]))
+    for row in grid[1:-1]:
+        lines.append(" " * 10 + " |" + "".join(row))
+    lines.append(f"{y_min:10.4g} +" + "".join(grid[-1]))
+    lines.append(" " * 12 + f"{t_min:<10.4g}" + " " * max(0, width - 20) + f"{t_max:>10.4g}")
+    legend = "  ".join(
+        f"{markers[index % len(markers)]} {name}" for index, name in enumerate(names)
+    )
+    lines.append(" " * 12 + legend)
+    if y_label:
+        lines.append(" " * 12 + f"(y: {y_label})")
+    return "\n".join(lines)

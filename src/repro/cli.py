@@ -1,0 +1,107 @@
+"""Command-line front end for the water-treatment experiments.
+
+Usage examples::
+
+    python -m repro table1 table2        # reproduce the two tables
+    python -m repro fig3 --points 51     # reliability curves as CSV + ASCII
+    python -m repro all --fast           # everything, on coarse grids
+    python -m repro all --output results # also write CSV files per experiment
+
+Every experiment name matches the table/figure numbering of the paper; see
+DESIGN.md for the experiment index.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.casestudy import experiments as exp
+
+#: Experiment name -> callable returning one result or a tuple of results.
+_EXPERIMENTS = {
+    "table1": lambda points: exp.table1_state_space(),
+    "table2": lambda points: exp.table2_availability(),
+    "fig3": lambda points: exp.figure3_reliability(points=points),
+    "fig4": lambda points: exp.figure4_5_survivability_line1(points=points)[0],
+    "fig5": lambda points: exp.figure4_5_survivability_line1(points=points)[1],
+    "fig6": lambda points: exp.figure6_7_costs_line1(points=points)[0],
+    "fig7": lambda points: exp.figure6_7_costs_line1(points=points)[1],
+    "fig8": lambda points: exp.figure8_9_survivability_line2(points=points)[0],
+    "fig9": lambda points: exp.figure8_9_survivability_line2(points=points)[1],
+    "fig10": lambda points: exp.figure10_11_costs_line2(points=points)[0],
+    "fig11": lambda points: exp.figure10_11_costs_line2(points=points)[1],
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-watertreatment",
+        description=(
+            "Reproduce the tables and figures of 'Evaluating Repair Strategies for a "
+            "Water-Treatment Facility using Arcade' (DSN 2010)."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=[*_EXPERIMENTS.keys(), "all"],
+        help="which tables/figures to reproduce ('all' runs every experiment)",
+    )
+    parser.add_argument(
+        "--points",
+        type=int,
+        default=None,
+        help="number of grid points for figure curves (default: 101, or 21 with --fast)",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="use coarse time grids (quick smoke run)",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=None,
+        help="directory to write one CSV file per experiment into",
+    )
+    parser.add_argument(
+        "--no-plot",
+        action="store_true",
+        help="suppress the ASCII plots (print CSV only)",
+    )
+    return parser
+
+
+def _render(name: str, result, args: argparse.Namespace) -> str:
+    parts = []
+    if hasattr(result, "to_text") and not args.no_plot:
+        parts.append(result.to_text())
+    if hasattr(result, "to_csv") and (args.no_plot or args.output is None):
+        if args.no_plot:
+            parts.append(result.to_csv())
+    if args.output is not None and hasattr(result, "to_csv"):
+        args.output.mkdir(parents=True, exist_ok=True)
+        path = args.output / f"{name}.csv"
+        path.write_text(result.to_csv() + "\n", encoding="utf-8")
+        parts.append(f"[wrote {path}]")
+    return "\n".join(parts)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``python -m repro`` and the ``repro-watertreatment`` script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    points = args.points if args.points is not None else (21 if args.fast else 101)
+
+    names = list(_EXPERIMENTS) if "all" in args.experiments else list(dict.fromkeys(args.experiments))
+    for name in names:
+        result = _EXPERIMENTS[name](points)
+        print(_render(name, result, args))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    sys.exit(main())

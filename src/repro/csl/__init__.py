@@ -1,0 +1,63 @@
+"""CSL and CSRL: syntax, parser, and model checker.
+
+The paper expresses all of its measures as CSL (continuous stochastic
+logic) and CSRL (continuous stochastic reward logic) queries and relies on
+PRISM's stochastic model checking engine to evaluate them.  This package
+provides the equivalent functionality:
+
+* :mod:`~repro.csl.formulas` — the abstract syntax of state formulas, path
+  formulas and reward queries (``P``, ``S`` and ``R`` operators with
+  optional probability/reward bounds),
+* :mod:`~repro.csl.parser` — a parser for a PRISM-like concrete syntax,
+  e.g. ``P=? [ true U<=100 "down" ]`` or ``R{"cost"}=? [ C<=10 ]``,
+* :mod:`~repro.csl.checker` — the model checker, mapping each operator to
+  the numerical routines of :mod:`repro.ctmc`.
+"""
+
+from repro.csl.formulas import (
+    Atomic,
+    BoundedUntil,
+    CumulativeReward,
+    Eventually,
+    Globally,
+    InstantaneousReward,
+    Next,
+    Not,
+    And,
+    Or,
+    Implies,
+    ProbabilityQuery,
+    RewardQuery,
+    SteadyStateQuery,
+    SteadyStateReward,
+    TrueFormula,
+    FalseFormula,
+    Until,
+)
+from repro.csl.parser import CSLParseError, parse_formula
+from repro.csl.checker import ModelChecker, check
+
+__all__ = [
+    "And",
+    "Atomic",
+    "BoundedUntil",
+    "CSLParseError",
+    "CumulativeReward",
+    "Eventually",
+    "FalseFormula",
+    "Globally",
+    "Implies",
+    "InstantaneousReward",
+    "ModelChecker",
+    "Next",
+    "Not",
+    "Or",
+    "ProbabilityQuery",
+    "RewardQuery",
+    "SteadyStateQuery",
+    "SteadyStateReward",
+    "TrueFormula",
+    "Until",
+    "check",
+    "parse_formula",
+]

@@ -1,0 +1,253 @@
+"""The CSL/CSRL model checker.
+
+The checker maps every operator of the logic onto the numerical routines of
+:mod:`repro.ctmc`:
+
+=========================  ==================================================
+operator                    routine
+=========================  ==================================================
+``P=? [ phi U<=t psi ]``    :func:`repro.ctmc.transient.time_bounded_reachability_per_state`
+``P=? [ phi U psi ]``       :func:`repro.ctmc.dtmc.unbounded_reachability`
+``P=? [ X phi ]``           one-step probabilities of the embedded DTMC
+``S=? [ phi ]``             :func:`repro.ctmc.steady_state.steady_state_distribution`
+``R=? [ I=t ]``             :func:`repro.ctmc.rewards.instantaneous_reward`
+``R=? [ C<=t ]``            :func:`repro.ctmc.rewards.cumulative_reward`
+``R=? [ S ]``               :func:`repro.ctmc.rewards.steady_state_reward`
+``R=? [ F phi ]``           expected reachability reward (linear system)
+=========================  ==================================================
+
+Quantitative queries return a scalar evaluated under the model's initial
+distribution (PRISM's convention for a single initial state), while
+:meth:`ModelChecker.check_states` exposes the per-state value vector.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import linalg as sparse_linalg
+
+import repro.csl.formulas as F
+from repro.ctmc import CTMC, MarkovRewardModel
+from repro.ctmc.dtmc import embedded_dtmc, unbounded_reachability
+from repro.ctmc.rewards import (
+    cumulative_reward,
+    instantaneous_reward,
+    steady_state_reward,
+)
+from repro.ctmc.steady_state import steady_state_distribution
+from repro.ctmc.transient import time_bounded_reachability_per_state
+from repro.csl.parser import parse_formula
+
+
+class CSLCheckError(ValueError):
+    """Raised when a formula cannot be checked against the given model."""
+
+
+class ModelChecker:
+    """A CSL/CSRL model checker bound to a CTMC or Markov reward model."""
+
+    def __init__(self, model: CTMC | MarkovRewardModel, epsilon: float = 1e-10) -> None:
+        if isinstance(model, MarkovRewardModel):
+            self._chain = model.chain
+            self._reward_model: MarkovRewardModel | None = model
+        else:
+            self._chain = model
+            self._reward_model = None
+        self._epsilon = epsilon
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+    def check(self, formula: "F.Query | F.Formula | str") -> float | bool:
+        """Evaluate a query under the model's initial distribution.
+
+        Quantitative queries (``P=?``, ``S=?``, ``R=?``) return a float;
+        state formulas return whether they hold with probability one under
+        the initial distribution (i.e. in every initial state).
+        """
+        if isinstance(formula, str):
+            formula = parse_formula(formula)
+        initial = self._chain.initial_distribution
+        if isinstance(formula, F.ProbabilityQuery):
+            return float(initial @ self._path_probabilities(formula.path))
+        if isinstance(formula, F.SteadyStateQuery):
+            mask = self._state_mask(formula.state_formula)
+            distribution = steady_state_distribution(self._chain)
+            return float(distribution[mask].sum())
+        if isinstance(formula, F.RewardQuery):
+            return self._reward_query(formula)
+        mask = self._state_mask(formula)
+        return bool(np.all(mask[initial > 0]))
+
+    def check_states(self, formula: "F.Query | F.Formula | str") -> np.ndarray:
+        """Evaluate a query per state (vector of floats or booleans)."""
+        if isinstance(formula, str):
+            formula = parse_formula(formula)
+        if isinstance(formula, F.ProbabilityQuery):
+            return self._path_probabilities(formula.path)
+        if isinstance(formula, F.SteadyStateQuery):
+            # The steady-state value is the same for every state of an
+            # irreducible chain; in general it depends on the start state
+            # via BSCC reachability, so compute per point-mass start.
+            mask = self._state_mask(formula.state_formula)
+            values = np.zeros(self._chain.num_states)
+            for state in range(self._chain.num_states):
+                point = np.zeros(self._chain.num_states)
+                point[state] = 1.0
+                distribution = steady_state_distribution(self._chain, point)
+                values[state] = float(distribution[mask].sum())
+            return values
+        if isinstance(formula, F.RewardQuery):
+            raise CSLCheckError("per-state reward queries are not supported; use check()")
+        return self._state_mask(formula)
+
+    # ------------------------------------------------------------------
+    # state formulas
+    # ------------------------------------------------------------------
+    def _state_mask(self, formula: F.Formula) -> np.ndarray:
+        if isinstance(formula, F.TrueFormula):
+            return np.ones(self._chain.num_states, dtype=bool)
+        if isinstance(formula, F.FalseFormula):
+            return np.zeros(self._chain.num_states, dtype=bool)
+        if isinstance(formula, F.Atomic):
+            return self._chain.label_mask(formula.name)
+        if isinstance(formula, F.Not):
+            return ~self._state_mask(formula.operand)
+        if isinstance(formula, F.And):
+            return self._state_mask(formula.left) & self._state_mask(formula.right)
+        if isinstance(formula, F.Or):
+            return self._state_mask(formula.left) | self._state_mask(formula.right)
+        if isinstance(formula, F.Implies):
+            return ~self._state_mask(formula.left) | self._state_mask(formula.right)
+        if isinstance(formula, F.ProbabilityBound):
+            probabilities = self._path_probabilities(formula.path)
+            return _compare(probabilities, formula.comparator, formula.bound)
+        if isinstance(formula, F.SteadyStateBound):
+            inner = F.SteadyStateQuery(formula.state_formula)
+            values = self.check_states(inner)
+            return _compare(values, formula.comparator, formula.bound)
+        raise CSLCheckError(f"unsupported state formula {formula!r}")
+
+    # ------------------------------------------------------------------
+    # path formulas
+    # ------------------------------------------------------------------
+    def _path_probabilities(self, path: F.PathFormula) -> np.ndarray:
+        if isinstance(path, F.Next):
+            target = self._state_mask(path.operand)
+            jump = embedded_dtmc(self._chain)
+            return np.asarray(jump.transition_matrix @ target.astype(float)).ravel()
+        if isinstance(path, F.BoundedUntil):
+            return self._bounded_until(path)
+        if isinstance(path, F.Until):
+            left = self._state_mask(path.left)
+            right = self._state_mask(path.right)
+            return unbounded_reachability(self._chain, right, left)
+        if isinstance(path, F._Globally):
+            negated = F.Not(path.operand)
+            if path.upper is None:
+                inner: F.PathFormula = F.Until(F.TrueFormula(), negated)
+            else:
+                inner = F.BoundedUntil(F.TrueFormula(), negated, path.upper)
+            return 1.0 - self._path_probabilities(inner)
+        raise CSLCheckError(f"unsupported path formula {path!r}")
+
+    def _bounded_until(self, path: F.BoundedUntil) -> np.ndarray:
+        left = self._state_mask(path.left)
+        right = self._state_mask(path.right)
+        if path.lower == 0.0:
+            return time_bounded_reachability_per_state(
+                self._chain, right, path.upper, safe=left, epsilon=self._epsilon
+            )
+        # Interval until [a, b]: split at a.  In the first phase only "left"
+        # states may be traversed and the target plays no role; in the second
+        # phase the standard bounded until applies for the remaining b - a.
+        second = time_bounded_reachability_per_state(
+            self._chain, right, path.upper - path.lower, safe=left, epsilon=self._epsilon
+        )
+        # First phase: stay within "left" for time a, then continue with the
+        # probabilities of the second phase.  Make non-left states absorbing
+        # with value 0.
+        blocked = ~left
+        transformed = self._chain.make_absorbing(np.flatnonzero(blocked))
+        probabilities, q = transformed.uniformized_matrix()
+        from repro.ctmc.foxglynn import fox_glynn
+
+        start_values = np.where(blocked, 0.0, second)
+        if path.lower == 0.0 or transformed.max_exit_rate == 0.0:
+            return start_values
+        weights = fox_glynn(q * path.lower, self._epsilon)
+        result = np.zeros(self._chain.num_states)
+        vector = start_values.copy()
+        for _ in range(weights.left):
+            vector = probabilities @ vector
+        for k in range(weights.left, weights.right + 1):
+            result += weights.weight(k) * vector
+            if k < weights.right:
+                vector = probabilities @ vector
+        return np.where(blocked, 0.0, np.clip(result, 0.0, 1.0))
+
+    # ------------------------------------------------------------------
+    # reward queries
+    # ------------------------------------------------------------------
+    def _reward_query(self, query: F.RewardQuery) -> float:
+        if self._reward_model is None:
+            raise CSLCheckError(
+                "reward query on a model without reward structures; "
+                "construct the checker with a MarkovRewardModel"
+            )
+        name = query.reward_name
+        objective = query.objective
+        if isinstance(objective, F.InstantaneousReward):
+            return instantaneous_reward(self._reward_model, objective.time, name, epsilon=self._epsilon)
+        if isinstance(objective, F.CumulativeReward):
+            return cumulative_reward(self._reward_model, objective.time, name, epsilon=self._epsilon)
+        if isinstance(objective, F.SteadyStateReward):
+            return steady_state_reward(self._reward_model, name)
+        if isinstance(objective, F.ReachabilityReward):
+            return self._reachability_reward(objective, name)
+        raise CSLCheckError(f"unsupported reward objective {objective!r}")
+
+    def _reachability_reward(self, objective: F.ReachabilityReward, name: str | None) -> float:
+        """Expected accumulated reward until first reaching the target set."""
+        assert self._reward_model is not None
+        rewards = self._reward_model.reward_structure(name).state_rewards
+        target = self._state_mask(objective.target)
+        chain = self._chain
+
+        # States that cannot reach the target have infinite expected reward.
+        reach = unbounded_reachability(chain, target)
+        if np.any((chain.initial_distribution > 0) & (reach < 1.0 - 1e-9)):
+            return float("inf")
+
+        non_target = np.flatnonzero(~target)
+        if non_target.size == 0:
+            return 0.0
+        generator = chain.generator_matrix()
+        sub = generator[np.ix_(non_target, non_target)].tocsc()
+        rhs = -rewards[non_target]
+        values = np.zeros(chain.num_states)
+        solution = sparse_linalg.spsolve(sub, rhs)
+        values[non_target] = np.asarray(solution, dtype=float)
+        return float(chain.initial_distribution @ values)
+
+
+def _compare(values: np.ndarray, comparator: str, bound: float) -> np.ndarray:
+    if comparator == "<":
+        return values < bound
+    if comparator == "<=":
+        return values <= bound
+    if comparator == ">":
+        return values > bound
+    if comparator == ">=":
+        return values >= bound
+    raise CSLCheckError(f"unknown comparator {comparator!r}")
+
+
+def check(
+    model: CTMC | MarkovRewardModel,
+    formula: "F.Query | F.Formula | str",
+    epsilon: float = 1e-10,
+) -> float | bool:
+    """Convenience wrapper: build a :class:`ModelChecker` and evaluate ``formula``."""
+    return ModelChecker(model, epsilon).check(formula)

@@ -1,0 +1,269 @@
+"""Parser for a PRISM-like CSL/CSRL concrete syntax.
+
+Grammar (informal)::
+
+    query        ::=  'P=?' '[' path ']'
+                   |  'S=?' '[' state ']'
+                   |  'R' ('{' '"' name '"' '}')? '=?' '[' objective ']'
+                   |  state                      (a plain state formula)
+
+    objective    ::=  'I=' number | 'C<=' number | 'S' | 'F' state
+
+    path         ::=  'X' state
+                   |  state 'U' state
+                   |  state 'U<=' number state
+                   |  state 'U' '[' number ',' number ']' state
+                   |  'F' ('<=' number)? state
+                   |  'G' ('<=' number)? state
+
+    state        ::=  'true' | 'false' | '"' label '"'
+                   |  '!' state | state '&' state | state '|' state
+                   |  state '=>' state
+                   |  'P' cmp number '[' path ']'
+                   |  'S' cmp number '[' state ']'
+                   |  '(' state ')'
+
+Examples accepted (all appear in the paper, Section 3)::
+
+    P=? [ true U<=100 "down" ]
+    S=? [ "operational" ]
+    R{"cost"}=? [ I=4.5 ]
+    R{"cost"}=? [ C<=10 ]
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.csl import formulas as F
+
+
+class CSLParseError(ValueError):
+    """Raised when a CSL/CSRL string cannot be parsed."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<number>\d+\.\d+([eE][-+]?\d+)?|\d+([eE][-+]?\d+)?)
+  | (?P<quoted>"[^"]*")
+  | (?P<op><=|>=|=\?|=>|[!&|()\[\],{}=<>])
+  | (?P<name>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(source: str) -> list[str]:
+    tokens: list[str] = []
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise CSLParseError(
+                f"unexpected character {source[position]!r} at position {position} in {source!r}"
+            )
+        if match.lastgroup != "ws":
+            tokens.append(match.group())
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self._source = source
+        self._tokens = _tokenize(source)
+        self._index = 0
+
+    def _peek(self, offset: int = 0) -> str | None:
+        position = self._index + offset
+        if position < len(self._tokens):
+            return self._tokens[position]
+        return None
+
+    def _advance(self) -> str:
+        token = self._peek()
+        if token is None:
+            raise CSLParseError(f"unexpected end of input in {self._source!r}")
+        self._index += 1
+        return token
+
+    def _accept(self, token: str) -> bool:
+        if self._peek() == token:
+            self._index += 1
+            return True
+        return False
+
+    def _expect(self, token: str) -> None:
+        if not self._accept(token):
+            raise CSLParseError(
+                f"expected {token!r} but found {self._peek()!r} in {self._source!r}"
+            )
+
+    def _number(self) -> float:
+        token = self._advance()
+        try:
+            return float(token)
+        except ValueError:
+            raise CSLParseError(f"expected a number, found {token!r} in {self._source!r}") from None
+
+    # ------------------------------------------------------------------
+    def parse_query(self) -> F.Query | F.Formula:
+        token = self._peek()
+        if token == "P" and self._peek(1) == "=?":
+            self._advance(), self._advance()
+            self._expect("[")
+            path = self._path()
+            self._expect("]")
+            self._end()
+            return F.ProbabilityQuery(path)
+        if token == "S" and self._peek(1) == "=?":
+            self._advance(), self._advance()
+            self._expect("[")
+            state = self._state()
+            self._expect("]")
+            self._end()
+            return F.SteadyStateQuery(state)
+        if token == "R":
+            self._advance()
+            reward_name = None
+            if self._accept("{"):
+                quoted = self._advance()
+                if not (quoted.startswith('"') and quoted.endswith('"')):
+                    raise CSLParseError(f"expected a quoted reward name in {self._source!r}")
+                reward_name = quoted[1:-1]
+                self._expect("}")
+            self._expect("=?")
+            self._expect("[")
+            objective = self._objective()
+            self._expect("]")
+            self._end()
+            return F.RewardQuery(objective, reward_name)
+        state = self._state()
+        self._end()
+        return state
+
+    def _end(self) -> None:
+        if self._peek() is not None:
+            raise CSLParseError(
+                f"unexpected trailing input {self._peek()!r} in {self._source!r}"
+            )
+
+    def _objective(self) -> F.RewardObjective:
+        token = self._peek()
+        if token == "I":
+            self._advance()
+            self._expect("=")
+            return F.InstantaneousReward(self._number())
+        if token == "C":
+            self._advance()
+            self._expect("<=")
+            return F.CumulativeReward(self._number())
+        if token == "S":
+            self._advance()
+            return F.SteadyStateReward()
+        if token == "F":
+            self._advance()
+            return F.ReachabilityReward(self._state())
+        raise CSLParseError(f"unknown reward objective starting at {token!r} in {self._source!r}")
+
+    # ------------------------------------------------------------------
+    def _path(self) -> F.PathFormula:
+        if self._accept("X"):
+            return F.Next(self._state())
+        if self._peek() == "F":
+            self._advance()
+            upper = None
+            if self._accept("<="):
+                upper = self._number()
+            return F.Eventually(self._state(), upper)
+        if self._peek() == "G":
+            self._advance()
+            upper = None
+            if self._accept("<="):
+                upper = self._number()
+            return F.Globally(self._state(), upper)
+        left = self._state()
+        if not self._accept("U"):
+            raise CSLParseError(f"expected 'U' in path formula in {self._source!r}")
+        if self._accept("<="):
+            upper = self._number()
+            right = self._state()
+            return F.BoundedUntil(left, right, upper)
+        if self._accept("["):
+            lower = self._number()
+            self._expect(",")
+            upper = self._number()
+            self._expect("]")
+            right = self._state()
+            return F.BoundedUntil(left, right, upper, lower)
+        right = self._state()
+        return F.Until(left, right)
+
+    # ------------------------------------------------------------------
+    def _state(self) -> F.Formula:
+        return self._implication()
+
+    def _implication(self) -> F.Formula:
+        left = self._disjunction()
+        if self._accept("=>"):
+            return F.Implies(left, self._implication())
+        return left
+
+    def _disjunction(self) -> F.Formula:
+        left = self._conjunction()
+        while self._accept("|"):
+            left = F.Or(left, self._conjunction())
+        return left
+
+    def _conjunction(self) -> F.Formula:
+        left = self._negation()
+        while self._accept("&"):
+            left = F.And(left, self._negation())
+        return left
+
+    def _negation(self) -> F.Formula:
+        if self._accept("!"):
+            return F.Not(self._negation())
+        return self._atom()
+
+    def _atom(self) -> F.Formula:
+        token = self._peek()
+        if token is None:
+            raise CSLParseError(f"unexpected end of input in {self._source!r}")
+        if token == "(":
+            self._advance()
+            inner = self._state()
+            self._expect(")")
+            return inner
+        if token == "true":
+            self._advance()
+            return F.TrueFormula()
+        if token == "false":
+            self._advance()
+            return F.FalseFormula()
+        if token.startswith('"'):
+            self._advance()
+            return F.Atomic(token[1:-1])
+        if token in ("P", "S"):
+            operator = self._advance()
+            comparator = self._advance()
+            if comparator not in ("<", "<=", ">", ">="):
+                raise CSLParseError(
+                    f"expected a comparator after {operator!r}, found {comparator!r}"
+                )
+            bound = self._number()
+            self._expect("[")
+            if operator == "P":
+                path = self._path()
+                self._expect("]")
+                return F.ProbabilityBound(comparator, bound, path)
+            state = self._state()
+            self._expect("]")
+            return F.SteadyStateBound(comparator, bound, state)
+        raise CSLParseError(f"unexpected token {token!r} in {self._source!r}")
+
+
+def parse_formula(source: str) -> F.Query | F.Formula:
+    """Parse a CSL/CSRL query or state formula from text."""
+    return _Parser(source).parse_query()

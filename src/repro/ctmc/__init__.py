@@ -1,0 +1,62 @@
+"""Continuous-time Markov chain (CTMC) substrate.
+
+This package provides the numerical engine that plays the role PRISM's CTMC
+engine plays in the paper:
+
+* :class:`~repro.ctmc.ctmc.CTMC` — a labelled CTMC with a sparse generator
+  matrix, atomic-proposition labelling and an initial distribution.
+* :class:`~repro.ctmc.ctmc.MarkovRewardModel` — a CTMC plus state/transition
+  reward structures (the model class of CSRL).
+* :mod:`~repro.ctmc.transient` — transient analysis by uniformization
+  (Fox–Glynn Poisson weights) and time-bounded reachability.
+* :mod:`~repro.ctmc.steady_state` — steady-state/long-run analysis with BSCC
+  decomposition, direct sparse solves and iterative fallbacks.
+* :mod:`~repro.ctmc.rewards` — instantaneous, cumulative and long-run reward
+  measures (the backend of ``R=?[I=t]``, ``R=?[C<=t]`` and ``R=?[S]``).
+* :mod:`~repro.ctmc.lumping` — ordinary lumpability (strong bisimulation)
+  partition refinement and quotient construction.
+* :mod:`~repro.ctmc.dtmc` — embedded/uniformized DTMC helpers and
+  unbounded-reachability solvers.
+"""
+
+from repro.ctmc.ctmc import CTMC, MarkovRewardModel, RewardStructure
+from repro.ctmc.foxglynn import FoxGlynnWeights, fox_glynn
+from repro.ctmc.transient import (
+    time_bounded_reachability,
+    transient_distribution,
+    transient_distributions,
+)
+from repro.ctmc.steady_state import (
+    bottom_strongly_connected_components,
+    steady_state_distribution,
+    steady_state_probability,
+)
+from repro.ctmc.rewards import (
+    cumulative_reward,
+    instantaneous_reward,
+    steady_state_reward,
+)
+from repro.ctmc.lumping import lump_ctmc, lumping_partition
+from repro.ctmc.dtmc import DTMC, embedded_dtmc, uniformized_dtmc
+
+__all__ = [
+    "CTMC",
+    "DTMC",
+    "FoxGlynnWeights",
+    "MarkovRewardModel",
+    "RewardStructure",
+    "bottom_strongly_connected_components",
+    "cumulative_reward",
+    "embedded_dtmc",
+    "fox_glynn",
+    "instantaneous_reward",
+    "lump_ctmc",
+    "lumping_partition",
+    "steady_state_distribution",
+    "steady_state_probability",
+    "steady_state_reward",
+    "time_bounded_reachability",
+    "transient_distribution",
+    "transient_distributions",
+    "uniformized_dtmc",
+]

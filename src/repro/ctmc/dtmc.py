@@ -1,0 +1,181 @@
+"""Discrete-time helpers: embedded and uniformized DTMCs, unbounded reachability.
+
+The CTMC algorithms occasionally need discrete-time machinery:
+
+* the *embedded* DTMC (jump chain) is used for unbounded reachability
+  probabilities and BSCC absorption probabilities,
+* the *uniformized* DTMC is the P matrix of uniformization.
+
+A tiny :class:`DTMC` class keeps these self-contained and testable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import linalg as sparse_linalg
+
+from repro.ctmc.ctmc import CTMC, CTMCError
+
+
+class DTMC:
+    """An explicit-state discrete-time Markov chain."""
+
+    def __init__(
+        self,
+        transition_matrix: sparse.spmatrix | np.ndarray,
+        initial_distribution: np.ndarray | None = None,
+    ) -> None:
+        matrix = sparse.csr_matrix(transition_matrix, dtype=float)
+        if matrix.shape[0] != matrix.shape[1]:
+            raise CTMCError("transition matrix must be square")
+        row_sums = np.asarray(matrix.sum(axis=1)).ravel()
+        if np.any(row_sums > 1.0 + 1e-9):
+            raise CTMCError("transition matrix rows must sum to at most 1")
+        self._matrix = matrix
+        self._num_states = matrix.shape[0]
+        if initial_distribution is None:
+            initial = np.zeros(self._num_states)
+            if self._num_states:
+                initial[0] = 1.0
+        else:
+            initial = np.asarray(initial_distribution, dtype=float)
+            if initial.shape != (self._num_states,):
+                raise CTMCError("initial distribution has the wrong length")
+        self._initial = initial
+
+    @property
+    def num_states(self) -> int:
+        return self._num_states
+
+    @property
+    def transition_matrix(self) -> sparse.csr_matrix:
+        return self._matrix
+
+    @property
+    def initial_distribution(self) -> np.ndarray:
+        return self._initial.copy()
+
+    def step(self, distribution: np.ndarray, steps: int = 1) -> np.ndarray:
+        """Advance a distribution by ``steps`` steps."""
+        vector = np.asarray(distribution, dtype=float)
+        transposed = self._matrix.T.tocsr()
+        for _ in range(steps):
+            vector = transposed @ vector
+        return vector
+
+    def reachability_probabilities(
+        self,
+        target: Iterable[int] | np.ndarray,
+        safe: Iterable[int] | np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Per-state probabilities of eventually reaching ``target`` via ``safe``.
+
+        Solves the standard linear system over the "maybe" states (those that
+        can reach the target without leaving the safe set).
+        """
+        target_mask = _mask(self._num_states, target)
+        if safe is None:
+            safe_mask = np.ones(self._num_states, dtype=bool)
+        else:
+            safe_mask = _mask(self._num_states, safe)
+
+        result = np.zeros(self._num_states)
+        result[target_mask] = 1.0
+
+        # Precomputation ("prob0"): only states that can reach the target via
+        # safe states have a positive probability.  Solving the linear system
+        # on the remaining states alone also keeps it non-singular when some
+        # safe states are absorbing.
+        reachable = _backward_reachable(self._matrix, target_mask, safe_mask)
+        maybe = safe_mask & ~target_mask & reachable
+        maybe_states = np.flatnonzero(maybe)
+        if maybe_states.size == 0:
+            return result
+
+        # Restrict to maybe states; right-hand side is the one-step
+        # probability of jumping straight into the target.
+        submatrix = self._matrix[np.ix_(maybe_states, maybe_states)].tocsc()
+        to_target = np.asarray(
+            self._matrix[np.ix_(maybe_states, np.flatnonzero(target_mask))].sum(axis=1)
+        ).ravel()
+        identity = sparse.identity(len(maybe_states), format="csc")
+        solution = sparse_linalg.spsolve((identity - submatrix).tocsc(), to_target)
+        result[maybe_states] = np.clip(np.asarray(solution, dtype=float), 0.0, 1.0)
+        return result
+
+
+def _backward_reachable(
+    matrix: sparse.csr_matrix, target_mask: np.ndarray, safe_mask: np.ndarray
+) -> np.ndarray:
+    """States from which the target is reachable through safe states (graph only)."""
+    transposed = matrix.T.tocsr()
+    reachable = target_mask.copy()
+    frontier = list(np.flatnonzero(target_mask))
+    while frontier:
+        state = frontier.pop()
+        row = transposed.getrow(state)
+        for predecessor in row.indices:
+            predecessor = int(predecessor)
+            if not reachable[predecessor] and safe_mask[predecessor]:
+                reachable[predecessor] = True
+                frontier.append(predecessor)
+    return reachable
+
+
+def _mask(size: int, states: Iterable[int] | np.ndarray) -> np.ndarray:
+    array = np.asarray(list(states) if not isinstance(states, np.ndarray) else states)
+    mask = np.zeros(size, dtype=bool)
+    if array.size == 0:
+        return mask
+    if array.dtype == bool:
+        if array.shape != (size,):
+            raise CTMCError("boolean state mask has the wrong length")
+        return array.copy()
+    mask[array.astype(int)] = True
+    return mask
+
+
+def embedded_dtmc(chain: CTMC) -> DTMC:
+    """The jump chain of ``chain``: ``P[i, j] = R[i, j] / E[i]``.
+
+    Absorbing CTMC states become absorbing DTMC states (self-loop).
+    """
+    exit_rates = chain.exit_rates
+    with np.errstate(divide="ignore", invalid="ignore"):
+        inverse = np.where(exit_rates > 0, 1.0 / exit_rates, 0.0)
+    matrix = sparse.diags(inverse) @ chain.rate_matrix
+    matrix = sparse.csr_matrix(matrix)
+    absorbing = np.flatnonzero(exit_rates == 0.0)
+    if absorbing.size:
+        matrix = matrix + sparse.coo_matrix(
+            (np.ones(absorbing.size), (absorbing, absorbing)),
+            shape=matrix.shape,
+        )
+    return DTMC(matrix, chain.initial_distribution)
+
+
+def uniformized_dtmc(chain: CTMC, rate: float | None = None) -> tuple[DTMC, float]:
+    """The uniformized DTMC of ``chain`` and the uniformization rate used."""
+    matrix, q = chain.uniformized_matrix(rate)
+    return DTMC(matrix, chain.initial_distribution), q
+
+
+def unbounded_reachability(
+    chain: CTMC,
+    target: Iterable[int] | np.ndarray | str,
+    safe: Iterable[int] | np.ndarray | str | None = None,
+) -> np.ndarray:
+    """Per-state probability of *eventually* reaching ``target`` (CSL ``P=?[F target]``).
+
+    Time-unbounded reachability in a CTMC coincides with reachability in its
+    embedded DTMC, so this simply delegates to the jump chain.
+    """
+    from repro.ctmc.transient import _as_state_mask
+
+    target_mask = _as_state_mask(chain, target)
+    safe_mask = None if safe is None else _as_state_mask(chain, safe)
+    jump_chain = embedded_dtmc(chain)
+    return jump_chain.reachability_probabilities(target_mask, safe_mask)

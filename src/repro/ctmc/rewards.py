@@ -1,0 +1,153 @@
+"""Reward measures over Markov reward models (the CSRL backend).
+
+Three measures are provided, matching the paper's Section 3:
+
+* :func:`instantaneous_reward` — the expected reward *rate* at a time
+  instant ``t``, i.e. ``R=?[ I=t ]``.  This is the paper's *instantaneous
+  cost*.
+* :func:`cumulative_reward` — the expected reward accumulated during
+  ``[0, t]``, i.e. ``R=?[ C<=t ]``.  This is the paper's *accumulated cost*.
+* :func:`steady_state_reward` — the long-run expected reward rate,
+  ``R=?[ S ]``.
+
+Accumulated rewards are computed with the uniformization identity
+
+.. math::
+
+   \\mathbb{E}\\Big[\\int_0^t \\rho(X_u)\\,du\\Big]
+     = \\frac{1}{q} \\sum_{k \\ge 0}
+       \\Pr[N_{qt} > k] \\; \\big(\\pi_0 P^k\\big) \\cdot \\rho ,
+
+where ``P`` is the uniformized DTMC and ``N_{qt}`` a Poisson variable with
+mean ``q·t`` — the same machinery (and the same Fox–Glynn weights) used for
+transient distributions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ctmc.ctmc import CTMC, CTMCError, MarkovRewardModel
+from repro.ctmc.foxglynn import fox_glynn
+from repro.ctmc.steady_state import steady_state_distribution
+from repro.ctmc.transient import DEFAULT_EPSILON, transient_distribution
+
+
+def _resolve(
+    model: MarkovRewardModel | tuple[CTMC, np.ndarray],
+    reward_name: str | None,
+) -> tuple[CTMC, np.ndarray]:
+    """Accept either a :class:`MarkovRewardModel` or ``(chain, reward_vector)``."""
+    if isinstance(model, MarkovRewardModel):
+        structure = model.reward_structure(reward_name)
+        return model.chain, structure.state_rewards
+    chain, rewards = model
+    rewards = np.asarray(rewards, dtype=float)
+    if rewards.shape != (chain.num_states,):
+        raise CTMCError("reward vector has the wrong length")
+    return chain, rewards
+
+
+def instantaneous_reward(
+    model: MarkovRewardModel | tuple[CTMC, np.ndarray],
+    time: float,
+    reward_name: str | None = None,
+    initial_distribution: np.ndarray | None = None,
+    epsilon: float = DEFAULT_EPSILON,
+) -> float:
+    """Expected reward rate at time ``time`` (CSRL ``R=?[I=t]``)."""
+    chain, rewards = _resolve(model, reward_name)
+    distribution = transient_distribution(chain, time, initial_distribution, epsilon)
+    return float(distribution @ rewards)
+
+
+def instantaneous_reward_curve(
+    model: MarkovRewardModel | tuple[CTMC, np.ndarray],
+    times: np.ndarray | list[float],
+    reward_name: str | None = None,
+    initial_distribution: np.ndarray | None = None,
+    epsilon: float = DEFAULT_EPSILON,
+) -> np.ndarray:
+    """Expected reward rate at each time point in ``times``."""
+    from repro.ctmc.transient import transient_distributions
+
+    chain, rewards = _resolve(model, reward_name)
+    distributions = transient_distributions(chain, list(times), initial_distribution, epsilon)
+    return distributions @ rewards
+
+
+def cumulative_reward(
+    model: MarkovRewardModel | tuple[CTMC, np.ndarray],
+    time: float,
+    reward_name: str | None = None,
+    initial_distribution: np.ndarray | None = None,
+    epsilon: float = DEFAULT_EPSILON,
+) -> float:
+    """Expected reward accumulated in ``[0, time]`` (CSRL ``R=?[C<=t]``)."""
+    chain, rewards = _resolve(model, reward_name)
+    if time < 0:
+        raise CTMCError("time bound must be non-negative")
+    if time == 0.0:
+        return 0.0
+
+    if initial_distribution is None:
+        pi0 = chain.initial_distribution
+    else:
+        pi0 = np.asarray(initial_distribution, dtype=float)
+        if pi0.shape != (chain.num_states,):
+            raise CTMCError("initial distribution has the wrong length")
+
+    q_rate = chain.max_exit_rate
+    if q_rate == 0.0:
+        # No transitions at all: the chain sits in the initial distribution.
+        return float(time * (pi0 @ rewards))
+
+    probabilities, q = chain.uniformized_matrix()
+    transposed = probabilities.T.tocsr()
+
+    weights = fox_glynn(q * float(time), epsilon)
+
+    # Tail probabilities: tail[k] = P[N > k] computed from the truncated
+    # weights.  Below the left truncation point the tail is (numerically) 1.
+    cumulative = np.cumsum(weights.weights)
+    total = float(cumulative[-1])
+
+    vector = pi0.copy()
+    accumulated = 0.0
+    for k in range(0, weights.right + 1):
+        if k < weights.left:
+            tail = total
+        else:
+            tail = total - float(cumulative[k - weights.left])
+        if tail <= 0.0:
+            break
+        accumulated += tail * float(vector @ rewards)
+        vector = transposed @ vector
+    return accumulated / q
+
+
+def cumulative_reward_curve(
+    model: MarkovRewardModel | tuple[CTMC, np.ndarray],
+    times: np.ndarray | list[float],
+    reward_name: str | None = None,
+    initial_distribution: np.ndarray | None = None,
+    epsilon: float = DEFAULT_EPSILON,
+) -> np.ndarray:
+    """Expected accumulated reward for each time bound in ``times``."""
+    return np.array(
+        [
+            cumulative_reward(model, float(t), reward_name, initial_distribution, epsilon)
+            for t in times
+        ]
+    )
+
+
+def steady_state_reward(
+    model: MarkovRewardModel | tuple[CTMC, np.ndarray],
+    reward_name: str | None = None,
+    initial_distribution: np.ndarray | None = None,
+) -> float:
+    """Long-run expected reward rate (CSRL ``R=?[S]``)."""
+    chain, rewards = _resolve(model, reward_name)
+    distribution = steady_state_distribution(chain, initial_distribution)
+    return float(distribution @ rewards)

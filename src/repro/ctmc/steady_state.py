@@ -1,0 +1,240 @@
+"""Steady-state (long-run) analysis of CTMCs.
+
+The long-run distribution of a finite CTMC is determined by its bottom
+strongly connected components (BSCCs): mass that reaches a BSCC stays there
+and distributes according to the BSCC's local stationary distribution.  The
+functions here implement the general procedure used by stochastic model
+checkers:
+
+1. decompose the chain into BSCCs (:func:`bottom_strongly_connected_components`),
+2. solve the local balance equations of each BSCC
+   (:func:`_bscc_stationary_distribution`),
+3. compute the probability of eventually reaching each BSCC from the initial
+   distribution (an unbounded-reachability problem on the embedded DTMC), and
+4. combine the pieces into the global long-run distribution
+   (:func:`steady_state_distribution`).
+
+For the irreducible chains produced by repairable Arcade models, step 3 is
+trivial (there is a single BSCC covering every state), but the general code
+path is retained so that e.g. reliability models without repair — which have
+absorbing failure states — are handled correctly too.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse import linalg as sparse_linalg
+
+import networkx as nx
+
+from repro.ctmc.ctmc import CTMC, CTMCError
+
+
+def bottom_strongly_connected_components(chain: CTMC) -> list[np.ndarray]:
+    """Return the BSCCs of ``chain`` as arrays of state indices.
+
+    A strongly connected component is *bottom* if no transition leaves it.
+    """
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(chain.num_states))
+    matrix = chain.rate_matrix.tocoo()
+    graph.add_edges_from(zip(matrix.row.tolist(), matrix.col.tolist()))
+
+    bsccs: list[np.ndarray] = []
+    for component in nx.strongly_connected_components(graph):
+        component_set = set(component)
+        is_bottom = True
+        for state in component:
+            for successor in graph.successors(state):
+                if successor not in component_set:
+                    is_bottom = False
+                    break
+            if not is_bottom:
+                break
+        if is_bottom:
+            bsccs.append(np.array(sorted(component), dtype=int))
+    bsccs.sort(key=lambda indices: int(indices[0]))
+    return bsccs
+
+
+#: Above this size the "auto" method switches from the direct sparse solve
+#: to power iteration on the uniformized DTMC (direct LU factorisations of
+#: the balance equations suffer from severe fill-in for the repair-queue
+#: chains of this project, whereas power iteration converges in a few
+#: thousand sparse matrix-vector products).
+_AUTO_DIRECT_LIMIT = 4000
+
+
+def _bscc_stationary_distribution(
+    chain: CTMC, states: np.ndarray, method: str = "auto"
+) -> np.ndarray:
+    """Stationary distribution of the sub-chain induced by a BSCC.
+
+    Solves ``π Q = 0`` with ``Σ π = 1`` restricted to ``states``.
+    """
+    size = len(states)
+    if size == 1:
+        return np.array([1.0])
+
+    sub_rates = chain.rate_matrix[np.ix_(states, states)].tocsr()
+    exit_rates = np.asarray(sub_rates.sum(axis=1)).ravel()
+    generator = sub_rates - sparse.diags(exit_rates)
+
+    if method == "auto":
+        method = "direct" if size <= _AUTO_DIRECT_LIMIT else "power"
+
+    if method == "direct":
+        # Replace one balance equation with the normalisation constraint.
+        system = generator.T.tolil()
+        system[size - 1, :] = 1.0
+        rhs = np.zeros(size)
+        rhs[size - 1] = 1.0
+        try:
+            solution = sparse_linalg.spsolve(system.tocsr(), rhs)
+        except Exception as error:  # pragma: no cover - fallback path
+            raise CTMCError(f"direct steady-state solve failed: {error}") from error
+        solution = np.asarray(solution, dtype=float)
+    elif method == "power":
+        solution = _power_iteration(generator, size)
+    else:
+        raise CTMCError(f"unknown steady-state method {method!r}")
+
+    solution = np.clip(solution, 0.0, None)
+    total = solution.sum()
+    if total <= 0:
+        raise CTMCError("steady-state solver produced a zero vector")
+    return solution / total
+
+
+def _power_iteration(
+    generator: sparse.spmatrix,
+    size: int,
+    tolerance: float = 1e-14,
+    max_iterations: int = 500_000,
+    check_every: int = 100,
+) -> np.ndarray:
+    """Stationary vector via power iteration on the uniformized DTMC.
+
+    The iteration matrix ``P = I + Q/q`` is stochastic for any uniformization
+    rate ``q`` at least as large as the maximal exit rate; a slightly larger
+    rate avoids periodicity.  Convergence is checked every ``check_every``
+    iterations on the maximum-norm difference of successive iterates, with a
+    tolerance tight enough that the propagated error stays far below the
+    1e-10 accuracy targeted by the transient analysis.
+    """
+    exit_rates = -np.asarray(generator.diagonal()).ravel()
+    q = float(exit_rates.max()) * 1.02 + 1e-12
+    transition = sparse.identity(size, format="csr") + generator / q
+    transposed = transition.T.tocsr()
+    vector = np.full(size, 1.0 / size)
+    for iteration in range(1, max_iterations + 1):
+        updated = transposed @ vector
+        if iteration % check_every == 0 and np.abs(updated - vector).max() < tolerance:
+            vector = updated
+            break
+        vector = updated
+    return np.asarray(vector).ravel()
+
+
+def _bscc_reachability_probabilities(
+    chain: CTMC, bsccs: list[np.ndarray], initial: np.ndarray
+) -> np.ndarray:
+    """Probability of eventually being absorbed into each BSCC.
+
+    Uses the embedded DTMC and solves the standard linear system for
+    absorption probabilities from transient states.
+    """
+    num_states = chain.num_states
+    bscc_of_state = np.full(num_states, -1, dtype=int)
+    for index, states in enumerate(bsccs):
+        bscc_of_state[states] = index
+
+    transient_states = np.flatnonzero(bscc_of_state < 0)
+    probabilities = np.zeros(len(bsccs))
+
+    # Mass starting inside a BSCC stays there.
+    for index, states in enumerate(bsccs):
+        probabilities[index] += float(initial[states].sum())
+
+    if transient_states.size == 0:
+        return probabilities
+
+    # Embedded DTMC restricted to transient states.
+    exit_rates = chain.exit_rates
+    rates = chain.rate_matrix
+    with np.errstate(divide="ignore", invalid="ignore"):
+        inverse_exit = np.where(exit_rates > 0, 1.0 / exit_rates, 0.0)
+    embedded = sparse.diags(inverse_exit) @ rates
+
+    transient_index = {state: position for position, state in enumerate(transient_states)}
+    embedded_tt = embedded[np.ix_(transient_states, transient_states)].tocsr()
+
+    # For each BSCC, the one-step probability of jumping from a transient
+    # state directly into it.
+    identity = sparse.identity(len(transient_states), format="csc")
+    system = (identity - embedded_tt.tocsc()).tocsc()
+    lu = sparse_linalg.splu(system)
+
+    initial_transient = initial[transient_states]
+    for index, states in enumerate(bsccs):
+        one_step = np.asarray(embedded[np.ix_(transient_states, states)].sum(axis=1)).ravel()
+        absorption = lu.solve(one_step)
+        probabilities[index] += float(initial_transient @ absorption)
+
+    # Guard against numerical drift.
+    total = probabilities.sum()
+    if total > 0:
+        probabilities = probabilities / total
+    return probabilities
+
+
+def steady_state_distribution(
+    chain: CTMC,
+    initial_distribution: np.ndarray | None = None,
+    method: str = "auto",
+) -> np.ndarray:
+    """Return the long-run (steady-state) distribution of ``chain``.
+
+    For irreducible chains this is the unique stationary distribution; in
+    general it is the BSCC-weighted mixture reachable from the initial
+    distribution.
+    """
+    if initial_distribution is None:
+        initial = chain.initial_distribution
+    else:
+        initial = np.asarray(initial_distribution, dtype=float)
+        if initial.shape != (chain.num_states,):
+            raise CTMCError("initial distribution has the wrong length")
+
+    bsccs = bottom_strongly_connected_components(chain)
+    if not bsccs:
+        raise CTMCError("chain has no bottom strongly connected component")
+
+    if len(bsccs) == 1 and len(bsccs[0]) == chain.num_states:
+        return _bscc_stationary_distribution(chain, bsccs[0], method)
+
+    reach = _bscc_reachability_probabilities(chain, bsccs, initial)
+    distribution = np.zeros(chain.num_states)
+    for probability, states in zip(reach, bsccs):
+        if probability <= 0.0:
+            continue
+        local = _bscc_stationary_distribution(chain, states, method)
+        distribution[states] += probability * local
+    return distribution
+
+
+def steady_state_probability(
+    chain: CTMC,
+    states: Iterable[int] | np.ndarray | str,
+    initial_distribution: np.ndarray | None = None,
+    method: str = "auto",
+) -> float:
+    """Long-run probability of residing in ``states`` (CSL ``S=?[states]``)."""
+    from repro.ctmc.transient import _as_state_mask  # shared helper
+
+    mask = _as_state_mask(chain, states)
+    distribution = steady_state_distribution(chain, initial_distribution, method)
+    return float(distribution[mask].sum())

@@ -1,0 +1,240 @@
+"""Transient analysis of CTMCs by uniformization.
+
+The central routine is :func:`transient_distribution`, which computes the
+state distribution ``π(t)`` of a CTMC at time ``t`` from its initial
+distribution using uniformization with Fox–Glynn Poisson weights.  On top of
+it:
+
+* :func:`transient_distributions` evaluates a whole grid of time points
+  (re-using the DTMC powers efficiently by walking the grid in increasing
+  order),
+* :func:`time_bounded_reachability` computes
+  ``P[ F^{<= t} target ]`` / ``P[ safe U^{<= t} target ]`` — the probability
+  of reaching target states within a time bound, the backbone of the CSL
+  time-bounded until operator and of the paper's reliability and
+  survivability measures.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+from repro.ctmc.ctmc import CTMC, CTMCError
+from repro.ctmc.foxglynn import fox_glynn
+
+#: Default truncation error for the Poisson mixture.
+DEFAULT_EPSILON = 1e-10
+
+
+def _as_state_mask(chain: CTMC, states: Iterable[int] | np.ndarray | str) -> np.ndarray:
+    """Normalise a state set given as label name, index list or boolean mask."""
+    if isinstance(states, str):
+        return chain.label_mask(states)
+    array = np.asarray(list(states) if not isinstance(states, np.ndarray) else states)
+    mask = np.zeros(chain.num_states, dtype=bool)
+    if array.size == 0:
+        return mask
+    if array.dtype == bool:
+        if array.shape != (chain.num_states,):
+            raise CTMCError("boolean state mask has the wrong length")
+        return array.copy()
+    mask[array.astype(int)] = True
+    return mask
+
+
+def transient_distribution(
+    chain: CTMC,
+    time: float,
+    initial_distribution: np.ndarray | None = None,
+    epsilon: float = DEFAULT_EPSILON,
+) -> np.ndarray:
+    """Return the transient distribution ``π(time)`` of ``chain``.
+
+    Parameters
+    ----------
+    chain:
+        The CTMC to analyse.
+    time:
+        The (non-negative) time point.
+    initial_distribution:
+        Optional override of the chain's initial distribution.
+    epsilon:
+        Truncation error of the Poisson mixture.
+    """
+    return transient_distributions(chain, [time], initial_distribution, epsilon)[0]
+
+
+def transient_distributions(
+    chain: CTMC,
+    times: Sequence[float],
+    initial_distribution: np.ndarray | None = None,
+    epsilon: float = DEFAULT_EPSILON,
+) -> np.ndarray:
+    """Return transient distributions for several time points.
+
+    The result is an array of shape ``(len(times), num_states)``; row ``i``
+    is ``π(times[i])``.  Time points may be given in any order; they are
+    evaluated independently but share the uniformized DTMC.
+    """
+    if len(times) == 0:
+        return np.zeros((0, chain.num_states))
+    times_array = np.asarray(times, dtype=float)
+    if np.any(times_array < 0):
+        raise CTMCError("time points must be non-negative")
+
+    if initial_distribution is None:
+        pi0 = chain.initial_distribution
+    else:
+        pi0 = np.asarray(initial_distribution, dtype=float)
+        if pi0.shape != (chain.num_states,):
+            raise CTMCError("initial distribution has the wrong length")
+
+    probabilities, q = chain.uniformized_matrix()
+    transposed = probabilities.T.tocsr()
+
+    results = np.zeros((len(times_array), chain.num_states), dtype=float)
+    for row, time in enumerate(times_array):
+        if time == 0.0 or chain.max_exit_rate == 0.0:
+            results[row] = pi0
+            continue
+        weights = fox_glynn(q * float(time), epsilon)
+        accumulator = np.zeros(chain.num_states, dtype=float)
+        vector = pi0.copy()
+        # Advance the DTMC to the left truncation point without accumulating.
+        for _ in range(weights.left):
+            vector = transposed @ vector
+        for k in range(weights.left, weights.right + 1):
+            accumulator += weights.weight(k) * vector
+            if k < weights.right:
+                vector = transposed @ vector
+        results[row] = accumulator
+    return results
+
+
+def time_bounded_reachability(
+    chain: CTMC,
+    target: Iterable[int] | np.ndarray | str,
+    time: float | Sequence[float],
+    safe: Iterable[int] | np.ndarray | str | None = None,
+    initial_distribution: np.ndarray | None = None,
+    epsilon: float = DEFAULT_EPSILON,
+) -> float | np.ndarray:
+    """Probability of reaching ``target`` within ``time`` while staying in ``safe``.
+
+    Implements the standard CSL reduction: states outside ``safe ∪ target``
+    and states inside ``target`` are made absorbing, after which
+    ``P[ safe U^{<=t} target ]`` equals the transient probability of being in
+    a target state at time ``t``.
+
+    Parameters
+    ----------
+    chain:
+        The CTMC.
+    target:
+        Target states (label name, indices, or boolean mask).
+    time:
+        A single time bound or a sequence of time bounds.
+    safe:
+        States that may be traversed (defaults to all states, i.e. the
+        formula ``true U^{<=t} target``).
+    initial_distribution:
+        Optional override of the chain's initial distribution; the result is
+        the probability weighted by this distribution.  Pass a point
+        distribution to get the value for a single state.
+    epsilon:
+        Truncation error of the Poisson mixture.
+
+    Returns
+    -------
+    float or numpy.ndarray
+        The reachability probability, scalar if ``time`` is scalar.
+    """
+    target_mask = _as_state_mask(chain, target)
+    if safe is None:
+        safe_mask = np.ones(chain.num_states, dtype=bool)
+    else:
+        safe_mask = _as_state_mask(chain, safe)
+
+    # States from which the until formula is already decided: targets are
+    # "won", states outside safe ∪ target are "lost"; both become absorbing.
+    absorbing = target_mask | ~(safe_mask | target_mask)
+    transformed = chain.make_absorbing(np.flatnonzero(absorbing))
+
+    scalar_input = np.isscalar(time)
+    times = [float(time)] if scalar_input else [float(value) for value in time]
+    distributions = transient_distributions(
+        transformed, times, initial_distribution, epsilon
+    )
+    probabilities = distributions[:, target_mask].sum(axis=1)
+    probabilities = np.clip(probabilities, 0.0, 1.0)
+    if scalar_input:
+        return float(probabilities[0])
+    return probabilities
+
+
+def time_bounded_reachability_per_state(
+    chain: CTMC,
+    target: Iterable[int] | np.ndarray | str,
+    time: float,
+    safe: Iterable[int] | np.ndarray | str | None = None,
+    epsilon: float = DEFAULT_EPSILON,
+) -> np.ndarray:
+    """Per-state probabilities ``P_s[ safe U^{<=t} target ]`` for all states ``s``.
+
+    Computed with a single backward pass: rather than running the forward
+    uniformization from every state, the Poisson mixture is applied to the
+    indicator vector of the target states using the transposed recursion
+    ``u_{k+1} = P u_k``, which yields the probabilities for all start states
+    simultaneously.
+    """
+    target_mask = _as_state_mask(chain, target)
+    if safe is None:
+        safe_mask = np.ones(chain.num_states, dtype=bool)
+    else:
+        safe_mask = _as_state_mask(chain, safe)
+
+    absorbing = target_mask | ~(safe_mask | target_mask)
+    transformed = chain.make_absorbing(np.flatnonzero(absorbing))
+    probabilities, q = transformed.uniformized_matrix()
+
+    if float(time) == 0.0 or transformed.max_exit_rate == 0.0:
+        return target_mask.astype(float)
+
+    weights = fox_glynn(q * float(time), epsilon)
+    result = np.zeros(chain.num_states, dtype=float)
+    vector = target_mask.astype(float)
+    for _ in range(weights.left):
+        vector = probabilities @ vector
+    for k in range(weights.left, weights.right + 1):
+        result += weights.weight(k) * vector
+        if k < weights.right:
+            vector = probabilities @ vector
+    return np.clip(result, 0.0, 1.0)
+
+
+def expected_time_in_states(
+    chain: CTMC,
+    states: Iterable[int] | np.ndarray | str,
+    horizon: float,
+    initial_distribution: np.ndarray | None = None,
+    epsilon: float = DEFAULT_EPSILON,
+) -> float:
+    """Expected total time spent in ``states`` during ``[0, horizon]``.
+
+    Computed as the cumulative reward of an indicator reward structure, via
+    the uniformization formula for accumulated rewards (see
+    :func:`repro.ctmc.rewards.cumulative_reward`); provided here as a
+    convenience for interval-availability style measures.
+    """
+    from repro.ctmc.rewards import cumulative_reward  # local import to avoid a cycle
+    from repro.ctmc.ctmc import MarkovRewardModel, RewardStructure
+
+    mask = _as_state_mask(chain, states)
+    structure = RewardStructure("indicator", mask.astype(float))
+    model = MarkovRewardModel(chain, structure)
+    return cumulative_reward(
+        model, horizon, reward_name="indicator",
+        initial_distribution=initial_distribution, epsilon=epsilon,
+    )

@@ -1,0 +1,46 @@
+"""A small, typed expression language.
+
+The expression language is shared by several parts of the library:
+
+* guards and updates of stochastic reactive modules (:mod:`repro.modules`),
+* state labels used by the CSL/CSRL model checker (:mod:`repro.csl`),
+* fault-tree and service-tree conditions of Arcade models
+  (:mod:`repro.arcade.fault_tree`).
+
+Expressions are immutable trees of :class:`Expression` nodes and are
+evaluated against a :class:`repro.expr.environment.Environment`, which is a
+mapping from variable names to Python values (``bool``, ``int`` or ``float``).
+
+Example
+-------
+>>> from repro.expr import Var, Const, parse_expression
+>>> e = (Var("pumps_up") >= Const(3)) & Var("reservoir_up")
+>>> e.evaluate({"pumps_up": 4, "reservoir_up": True})
+True
+>>> parse_expression("pumps_up >= 3 & reservoir_up").evaluate(
+...     {"pumps_up": 2, "reservoir_up": True})
+False
+"""
+
+from repro.expr.nodes import (
+    BinaryOp,
+    Const,
+    Expression,
+    Ite,
+    UnaryOp,
+    Var,
+)
+from repro.expr.environment import Environment
+from repro.expr.parser import ExpressionParseError, parse_expression
+
+__all__ = [
+    "BinaryOp",
+    "Const",
+    "Environment",
+    "Expression",
+    "ExpressionParseError",
+    "Ite",
+    "UnaryOp",
+    "Var",
+    "parse_expression",
+]

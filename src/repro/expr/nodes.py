@@ -1,0 +1,285 @@
+"""Expression AST nodes.
+
+The node classes are deliberately small: each node knows how to evaluate
+itself against an environment, report the variables it mentions, and print
+itself back to a parseable string.  Operator overloading on
+:class:`Expression` makes building expressions in Python pleasant::
+
+    (Var("pumps_up") >= Const(3)) & Var("reservoir_up")
+
+Supported operators
+-------------------
+arithmetic   ``+  -  *  /`` (true division), unary ``-``
+comparison   ``=  !=  <  <=  >  >=``
+boolean      ``&  |  !  =>`` (implication), if-then-else (:class:`Ite`)
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+from typing import Any, Callable
+
+_NUMERIC = (int, float)
+
+
+def _as_bool(value: Any, context: str) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)) and value in (0, 1):
+        return bool(value)
+    raise TypeError(f"{context}: expected a boolean, got {value!r}")
+
+
+def _as_number(value: Any, context: str) -> float | int:
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, _NUMERIC):
+        return value
+    raise TypeError(f"{context}: expected a number, got {value!r}")
+
+
+class Expression:
+    """Base class of all expression nodes."""
+
+    __slots__ = ()
+
+    # -- core protocol -------------------------------------------------
+    def evaluate(self, env: Mapping[str, Any]) -> Any:
+        """Evaluate the expression in ``env`` and return its value."""
+        raise NotImplementedError
+
+    def variables(self) -> frozenset[str]:
+        """Return the set of variable names mentioned by the expression."""
+        raise NotImplementedError
+
+    def substitute(self, bindings: Mapping[str, "Expression"]) -> "Expression":
+        """Return a copy with variables replaced by expressions."""
+        raise NotImplementedError
+
+    # -- convenience builders -------------------------------------------
+    def __and__(self, other: "Expression") -> "Expression":
+        return BinaryOp("&", self, _coerce(other))
+
+    def __rand__(self, other: Any) -> "Expression":
+        return BinaryOp("&", _coerce(other), self)
+
+    def __or__(self, other: "Expression") -> "Expression":
+        return BinaryOp("|", self, _coerce(other))
+
+    def __ror__(self, other: Any) -> "Expression":
+        return BinaryOp("|", _coerce(other), self)
+
+    def __invert__(self) -> "Expression":
+        return UnaryOp("!", self)
+
+    def implies(self, other: "Expression") -> "Expression":
+        return BinaryOp("=>", self, _coerce(other))
+
+    def __add__(self, other: Any) -> "Expression":
+        return BinaryOp("+", self, _coerce(other))
+
+    def __radd__(self, other: Any) -> "Expression":
+        return BinaryOp("+", _coerce(other), self)
+
+    def __sub__(self, other: Any) -> "Expression":
+        return BinaryOp("-", self, _coerce(other))
+
+    def __rsub__(self, other: Any) -> "Expression":
+        return BinaryOp("-", _coerce(other), self)
+
+    def __mul__(self, other: Any) -> "Expression":
+        return BinaryOp("*", self, _coerce(other))
+
+    def __rmul__(self, other: Any) -> "Expression":
+        return BinaryOp("*", _coerce(other), self)
+
+    def __truediv__(self, other: Any) -> "Expression":
+        return BinaryOp("/", self, _coerce(other))
+
+    def __neg__(self) -> "Expression":
+        return UnaryOp("-", self)
+
+    def eq(self, other: Any) -> "Expression":
+        return BinaryOp("=", self, _coerce(other))
+
+    def ne(self, other: Any) -> "Expression":
+        return BinaryOp("!=", self, _coerce(other))
+
+    def __lt__(self, other: Any) -> "Expression":
+        return BinaryOp("<", self, _coerce(other))
+
+    def __le__(self, other: Any) -> "Expression":
+        return BinaryOp("<=", self, _coerce(other))
+
+    def __gt__(self, other: Any) -> "Expression":
+        return BinaryOp(">", self, _coerce(other))
+
+    def __ge__(self, other: Any) -> "Expression":
+        return BinaryOp(">=", self, _coerce(other))
+
+
+def _coerce(value: Any) -> Expression:
+    """Turn Python literals into :class:`Const` nodes."""
+    if isinstance(value, Expression):
+        return value
+    if isinstance(value, (bool, int, float)):
+        return Const(value)
+    raise TypeError(f"cannot use {value!r} in an expression")
+
+
+@dataclass(frozen=True, slots=True)
+class Const(Expression):
+    """A boolean or numeric literal."""
+
+    value: bool | int | float
+
+    def evaluate(self, env: Mapping[str, Any]) -> Any:
+        return self.value
+
+    def variables(self) -> frozenset[str]:
+        return frozenset()
+
+    def substitute(self, bindings: Mapping[str, Expression]) -> Expression:
+        return self
+
+    def __str__(self) -> str:
+        if isinstance(self.value, bool):
+            return "true" if self.value else "false"
+        return repr(self.value)
+
+
+@dataclass(frozen=True, slots=True)
+class Var(Expression):
+    """A reference to a variable in the evaluation environment."""
+
+    name: str
+
+    def evaluate(self, env: Mapping[str, Any]) -> Any:
+        return env[self.name]
+
+    def variables(self) -> frozenset[str]:
+        return frozenset({self.name})
+
+    def substitute(self, bindings: Mapping[str, Expression]) -> Expression:
+        return bindings.get(self.name, self)
+
+    def __str__(self) -> str:
+        return self.name
+
+
+_BINARY_IMPLS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": lambda a, b: _as_number(a, "+") + _as_number(b, "+"),
+    "-": lambda a, b: _as_number(a, "-") - _as_number(b, "-"),
+    "*": lambda a, b: _as_number(a, "*") * _as_number(b, "*"),
+    "/": lambda a, b: _as_number(a, "/") / _as_number(b, "/"),
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: _as_number(a, "<") < _as_number(b, "<"),
+    "<=": lambda a, b: _as_number(a, "<=") <= _as_number(b, "<="),
+    ">": lambda a, b: _as_number(a, ">") > _as_number(b, ">"),
+    ">=": lambda a, b: _as_number(a, ">=") >= _as_number(b, ">="),
+    "&": lambda a, b: _as_bool(a, "&") and _as_bool(b, "&"),
+    "|": lambda a, b: _as_bool(a, "|") or _as_bool(b, "|"),
+    "=>": lambda a, b: (not _as_bool(a, "=>")) or _as_bool(b, "=>"),
+    "min": min,
+    "max": max,
+}
+
+#: Operators whose result is boolean (used by consumers that want to
+#: validate that e.g. a guard is a boolean expression).
+BOOLEAN_OPERATORS = frozenset({"=", "!=", "<", "<=", ">", ">=", "&", "|", "=>", "!"})
+
+
+@dataclass(frozen=True, slots=True)
+class BinaryOp(Expression):
+    """A binary operator applied to two sub-expressions."""
+
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _BINARY_IMPLS:
+            raise ValueError(f"unknown binary operator {self.op!r}")
+
+    def evaluate(self, env: Mapping[str, Any]) -> Any:
+        impl = _BINARY_IMPLS[self.op]
+        return impl(self.left.evaluate(env), self.right.evaluate(env))
+
+    def variables(self) -> frozenset[str]:
+        return self.left.variables() | self.right.variables()
+
+    def substitute(self, bindings: Mapping[str, Expression]) -> Expression:
+        return BinaryOp(
+            self.op,
+            self.left.substitute(bindings),
+            self.right.substitute(bindings),
+        )
+
+    def __str__(self) -> str:
+        if self.op in ("min", "max"):
+            return f"{self.op}({self.left}, {self.right})"
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True, slots=True)
+class UnaryOp(Expression):
+    """A unary operator (boolean negation ``!`` or arithmetic ``-``)."""
+
+    op: str
+    operand: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in ("!", "-"):
+            raise ValueError(f"unknown unary operator {self.op!r}")
+
+    def evaluate(self, env: Mapping[str, Any]) -> Any:
+        value = self.operand.evaluate(env)
+        if self.op == "!":
+            return not _as_bool(value, "!")
+        return -_as_number(value, "unary -")
+
+    def variables(self) -> frozenset[str]:
+        return self.operand.variables()
+
+    def substitute(self, bindings: Mapping[str, Expression]) -> Expression:
+        return UnaryOp(self.op, self.operand.substitute(bindings))
+
+    def __str__(self) -> str:
+        return f"{self.op}{self.operand}"
+
+
+@dataclass(frozen=True, slots=True)
+class Ite(Expression):
+    """If-then-else expression: ``condition ? then : otherwise``."""
+
+    condition: Expression
+    then: Expression
+    otherwise: Expression
+
+    def evaluate(self, env: Mapping[str, Any]) -> Any:
+        if _as_bool(self.condition.evaluate(env), "ite condition"):
+            return self.then.evaluate(env)
+        return self.otherwise.evaluate(env)
+
+    def variables(self) -> frozenset[str]:
+        return (
+            self.condition.variables()
+            | self.then.variables()
+            | self.otherwise.variables()
+        )
+
+    def substitute(self, bindings: Mapping[str, Expression]) -> Expression:
+        return Ite(
+            self.condition.substitute(bindings),
+            self.then.substitute(bindings),
+            self.otherwise.substitute(bindings),
+        )
+
+    def __str__(self) -> str:
+        return f"({self.condition} ? {self.then} : {self.otherwise})"
+
+
+TRUE = Const(True)
+FALSE = Const(False)

@@ -1,0 +1,228 @@
+"""A recursive-descent parser for the expression language.
+
+The concrete syntax follows PRISM's expression syntax closely, so that
+expressions exported to PRISM (see :mod:`repro.modules.prism_export`) can be
+re-read by this parser:
+
+==============  =====================================================
+category        syntax
+==============  =====================================================
+literals        ``true``, ``false``, integers, floats
+variables       identifiers (``[A-Za-z_][A-Za-z0-9_']*``)
+arithmetic      ``+  -  *  /`` with the usual precedence
+comparison      ``=  !=  <  <=  >  >=``
+boolean         ``!`` (negation), ``&``, ``|``, ``=>`` (implication)
+conditional     ``cond ? a : b``
+functions       ``min(a, b, ...)``, ``max(a, b, ...)``
+grouping        parentheses
+==============  =====================================================
+
+Precedence, lowest to highest: ``? :``, ``=>``, ``|``, ``&``, ``!``,
+comparisons, ``+ -``, ``* /``, unary minus.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from functools import reduce
+
+from repro.expr.nodes import BinaryOp, Const, Expression, Ite, UnaryOp, Var
+
+
+class ExpressionParseError(ValueError):
+    """Raised when an expression string cannot be parsed."""
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+)
+  | (?P<float>\d+\.\d+([eE][-+]?\d+)?|\d+[eE][-+]?\d+)
+  | (?P<int>\d+)
+  | (?P<name>[A-Za-z_][A-Za-z0-9_']*)
+  | (?P<op><=|>=|!=|=>|[-+*/=<>!&|?:(),])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"true": Const(True), "false": Const(False)}
+
+
+@dataclass(frozen=True, slots=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+def tokenize(source: str) -> list[_Token]:
+    """Split ``source`` into tokens, raising on unknown characters."""
+    tokens: list[_Token] = []
+    position = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            raise ExpressionParseError(
+                f"unexpected character {source[position]!r} at position {position} in {source!r}"
+            )
+        kind = match.lastgroup or ""
+        if kind != "ws":
+            tokens.append(_Token(kind, match.group(), position))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, source: str) -> None:
+        self._source = source
+        self._tokens = tokenize(source)
+        self._index = 0
+
+    # -- token helpers ---------------------------------------------------
+    def _peek(self) -> _Token | None:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ExpressionParseError(f"unexpected end of input in {self._source!r}")
+        self._index += 1
+        return token
+
+    def _accept(self, text: str) -> bool:
+        token = self._peek()
+        if token is not None and token.text == text:
+            self._index += 1
+            return True
+        return False
+
+    def _expect(self, text: str) -> None:
+        token = self._peek()
+        if token is None or token.text != text:
+            found = token.text if token else "end of input"
+            raise ExpressionParseError(
+                f"expected {text!r} but found {found!r} in {self._source!r}"
+            )
+        self._index += 1
+
+    # -- grammar ----------------------------------------------------------
+    def parse(self) -> Expression:
+        expression = self._conditional()
+        token = self._peek()
+        if token is not None:
+            raise ExpressionParseError(
+                f"unexpected trailing input {token.text!r} at position "
+                f"{token.position} in {self._source!r}"
+            )
+        return expression
+
+    def _conditional(self) -> Expression:
+        condition = self._implication()
+        if self._accept("?"):
+            then = self._conditional()
+            self._expect(":")
+            otherwise = self._conditional()
+            return Ite(condition, then, otherwise)
+        return condition
+
+    def _implication(self) -> Expression:
+        left = self._disjunction()
+        if self._accept("=>"):
+            # Implication is right-associative.
+            right = self._implication()
+            return BinaryOp("=>", left, right)
+        return left
+
+    def _disjunction(self) -> Expression:
+        parts = [self._conjunction()]
+        while self._accept("|"):
+            parts.append(self._conjunction())
+        return reduce(lambda a, b: BinaryOp("|", a, b), parts)
+
+    def _conjunction(self) -> Expression:
+        parts = [self._negation()]
+        while self._accept("&"):
+            parts.append(self._negation())
+        return reduce(lambda a, b: BinaryOp("&", a, b), parts)
+
+    def _negation(self) -> Expression:
+        if self._accept("!"):
+            return UnaryOp("!", self._negation())
+        return self._comparison()
+
+    def _comparison(self) -> Expression:
+        left = self._additive()
+        token = self._peek()
+        if token is not None and token.text in ("=", "!=", "<", "<=", ">", ">="):
+            self._advance()
+            right = self._additive()
+            return BinaryOp(token.text, left, right)
+        return left
+
+    def _additive(self) -> Expression:
+        expression = self._multiplicative()
+        while True:
+            if self._accept("+"):
+                expression = BinaryOp("+", expression, self._multiplicative())
+            elif self._accept("-"):
+                expression = BinaryOp("-", expression, self._multiplicative())
+            else:
+                return expression
+
+    def _multiplicative(self) -> Expression:
+        expression = self._unary()
+        while True:
+            if self._accept("*"):
+                expression = BinaryOp("*", expression, self._unary())
+            elif self._accept("/"):
+                expression = BinaryOp("/", expression, self._unary())
+            else:
+                return expression
+
+    def _unary(self) -> Expression:
+        if self._accept("-"):
+            return UnaryOp("-", self._unary())
+        return self._atom()
+
+    def _atom(self) -> Expression:
+        token = self._advance()
+        if token.kind == "int":
+            return Const(int(token.text))
+        if token.kind == "float":
+            return Const(float(token.text))
+        if token.kind == "name":
+            if token.text in _KEYWORDS:
+                return _KEYWORDS[token.text]
+            if token.text in ("min", "max"):
+                return self._function(token.text)
+            return Var(token.text)
+        if token.text == "(":
+            inner = self._conditional()
+            self._expect(")")
+            return inner
+        raise ExpressionParseError(
+            f"unexpected token {token.text!r} at position {token.position} in {self._source!r}"
+        )
+
+    def _function(self, name: str) -> Expression:
+        self._expect("(")
+        arguments = [self._conditional()]
+        while self._accept(","):
+            arguments.append(self._conditional())
+        self._expect(")")
+        if len(arguments) < 2:
+            raise ExpressionParseError(f"{name}() needs at least two arguments")
+        return reduce(lambda a, b: BinaryOp(name, a, b), arguments)
+
+
+def parse_expression(source: str) -> Expression:
+    """Parse ``source`` into an :class:`~repro.expr.nodes.Expression`.
+
+    Raises
+    ------
+    ExpressionParseError
+        If the string is not a well-formed expression.
+    """
+    return _Parser(source).parse()

@@ -1,0 +1,48 @@
+"""Input/Output Interactive Markov Chains (I/O-IMCs).
+
+The original Arcade semantics (Boudali et al., DSN 2008) maps every basic
+component, repair unit and spare management unit to an I/O-IMC — an
+automaton with
+
+* **input actions** (suffix ``?``) that the component reacts to,
+* **output actions** (suffix ``!``) that it generates,
+* **internal actions** (suffix ``;``), and
+* **Markovian transitions** carrying exponential rates —
+
+and composes them in parallel, synchronising outputs with matching inputs.
+After hiding the synchronised actions and applying the *maximal progress*
+assumption (internal actions pre-empt Markovian delays), a closed,
+deterministic I/O-IMC reduces to a CTMC.
+
+The DSN 2010 paper replaces this back end with a direct translation to
+PRISM reactive modules, but argues that "the two translations agree ...
+for the constructs occurring in this case study".  This package exists to
+back that claim up: :mod:`repro.arcade.to_iomc` translates Arcade models to
+I/O-IMCs, and the test suite checks that the CTMC obtained through
+composition + hiding + maximal progress is lumping-equivalent to the ones
+produced by the other two translation paths.
+"""
+
+from repro.iomc.iomc import (
+    IOIMC,
+    IOIMCError,
+    InteractiveTransition,
+    MarkovianTransition,
+    Signature,
+)
+from repro.iomc.composition import compose, compose_many
+from repro.iomc.hiding import hide
+from repro.iomc.conversion import apply_maximal_progress, to_ctmc
+
+__all__ = [
+    "IOIMC",
+    "IOIMCError",
+    "InteractiveTransition",
+    "MarkovianTransition",
+    "Signature",
+    "apply_maximal_progress",
+    "compose",
+    "compose_many",
+    "hide",
+    "to_ctmc",
+]

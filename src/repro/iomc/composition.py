@@ -1,0 +1,141 @@
+"""Parallel composition of I/O-IMCs.
+
+The composition synchronises an output action of one automaton with the
+equal-named input actions of the others (multi-way synchronisation: the
+output drives every component that listens to it).  The composed signature
+follows the I/O-IMC rules:
+
+* an action that is an output of one operand stays an *output* of the
+  composition (outputs are never consumed, they can be hidden later),
+* an action that is only an input of the operands stays an *input*,
+* internal actions stay internal (their names are assumed disjoint).
+
+Markovian transitions interleave.  Input enabledness is applied implicitly:
+an operand without an explicit transition for a synchronised input simply
+stays in its current state.
+
+Only the *reachable* part of the product is built, which keeps composition
+of many automata tractable.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Sequence
+
+from repro.iomc.iomc import IOIMC, IOIMCError, Signature
+
+
+def _composed_signature(parts: Sequence[IOIMC]) -> Signature:
+    outputs: set[str] = set()
+    inputs: set[str] = set()
+    internals: set[str] = set()
+    for part in parts:
+        duplicate_outputs = outputs & part.signature.outputs
+        if duplicate_outputs:
+            raise IOIMCError(
+                f"action(s) {sorted(duplicate_outputs)} are outputs of more than one operand"
+            )
+        outputs |= part.signature.outputs
+        internals |= part.signature.internals
+        inputs |= part.signature.inputs
+    # Inputs that some operand outputs are driven internally by the
+    # composition; they remain outputs of the whole (and are typically hidden
+    # afterwards).
+    inputs -= outputs
+    overlap = internals & (inputs | outputs)
+    if overlap:
+        raise IOIMCError(f"internal action(s) {sorted(overlap)} clash with visible actions")
+    return Signature(inputs=frozenset(inputs), outputs=frozenset(outputs), internals=frozenset(internals))
+
+
+def compose_many(parts: Sequence[IOIMC], name: str | None = None) -> IOIMC:
+    """Compose any number of I/O-IMCs in parallel (reachable product only)."""
+    if not parts:
+        raise IOIMCError("compose_many needs at least one operand")
+    for part in parts:
+        part.validate()
+    signature = _composed_signature(parts)
+    composed = IOIMC(
+        name=name or "||".join(part.name for part in parts),
+        signature=signature,
+    )
+
+    indexes = [part.transition_index() for part in parts]
+
+    initial = tuple(part.initial_state for part in parts)
+    composed.add_state(initial, description=tuple(part.describe(part.initial_state) for part in parts), initial=True)
+    queue: deque[tuple] = deque([initial])
+    seen = {initial}
+
+    def register(state: tuple) -> None:
+        if state not in seen:
+            seen.add(state)
+            composed.add_state(
+                state,
+                description=tuple(part.describe(local) for part, local in zip(parts, state)),
+            )
+            queue.append(state)
+
+    while queue:
+        state = queue.popleft()
+
+        # Markovian transitions: interleave.
+        for position, part in enumerate(parts):
+            _interactive, markovian = indexes[position]
+            for transition in markovian.get(state[position], []):
+                successor = list(state)
+                successor[position] = transition.target
+                target = tuple(successor)
+                register(target)
+                composed.add_markovian(state, transition.rate, target)
+
+        # Interactive transitions.
+        for position, part in enumerate(parts):
+            interactive, _markovian = indexes[position]
+            for transition in interactive.get(state[position], []):
+                action = transition.action
+                kind = part.signature.classify(action)
+                if kind == "internal":
+                    successor = list(state)
+                    successor[position] = transition.target
+                    target = tuple(successor)
+                    register(target)
+                    composed.add_interactive(state, action, target)
+                    continue
+                if kind == "input":
+                    # Inputs only move together with the driving output; an
+                    # input that nobody outputs stays an input of the whole
+                    # and can still be triggered by the environment.
+                    if action in signature.outputs:
+                        continue
+                    successor = list(state)
+                    successor[position] = transition.target
+                    target = tuple(successor)
+                    register(target)
+                    composed.add_interactive(state, action, target)
+                    continue
+                # Output: synchronise with every listener's input transition.
+                successor = list(state)
+                successor[position] = transition.target
+                for other_position, other in enumerate(parts):
+                    if other_position == position:
+                        continue
+                    if action in other.signature.inputs:
+                        targets = other.successors(state[other_position], action)
+                        if len(targets) > 1:
+                            raise IOIMCError(
+                                f"{other.name}: nondeterministic input {action!r} in state "
+                                f"{state[other_position]!r}"
+                            )
+                        successor[other_position] = targets[0]
+                target = tuple(successor)
+                register(target)
+                composed.add_interactive(state, action, target)
+
+    return composed
+
+
+def compose(left: IOIMC, right: IOIMC, name: str | None = None) -> IOIMC:
+    """Binary parallel composition (a convenience wrapper around :func:`compose_many`)."""
+    return compose_many([left, right], name=name)

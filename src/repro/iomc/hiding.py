@@ -1,0 +1,53 @@
+"""Hiding of output actions.
+
+Hiding turns output actions into internal actions.  In the Arcade tool
+chain this is done after composition: once a ``failed_x``/``repaired_x``
+signal has been wired from the component to its repair unit (and vice
+versa), the action is no longer of interest to the environment and is
+hidden, which enables the maximal-progress reduction and the conversion to
+a CTMC (:mod:`repro.iomc.conversion`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.iomc.iomc import IOIMC, IOIMCError, Signature
+
+
+def hide(model: IOIMC, actions: Iterable[str] | None = None) -> IOIMC:
+    """Return a copy of ``model`` with the given output actions made internal.
+
+    Parameters
+    ----------
+    model:
+        The I/O-IMC to transform.
+    actions:
+        The output actions to hide; ``None`` hides *all* outputs (the usual
+        step before converting a closed composition to a CTMC).
+    """
+    if actions is None:
+        to_hide = set(model.signature.outputs)
+    else:
+        to_hide = set(actions)
+        unknown = to_hide - model.signature.outputs
+        if unknown:
+            raise IOIMCError(
+                f"cannot hide {sorted(unknown)}: not output actions of {model.name!r}"
+            )
+
+    signature = Signature(
+        inputs=model.signature.inputs,
+        outputs=model.signature.outputs - to_hide,
+        internals=model.signature.internals | to_hide,
+    )
+    hidden = IOIMC(
+        name=f"hide({model.name})",
+        signature=signature,
+        states=set(model.states),
+        initial_state=model.initial_state,
+        interactive_transitions=list(model.interactive_transitions),
+        markovian_transitions=list(model.markovian_transitions),
+        descriptions=dict(model.descriptions),
+    )
+    return hidden

@@ -1,0 +1,60 @@
+"""User-facing dependability and performability measures.
+
+This package is the API layer a user of the library interacts with: every
+measure of the paper's Section 3 is available as a plain function over an
+:class:`repro.arcade.ArcadeStateSpace` (or an :class:`repro.arcade.ArcadeModel`,
+which is expanded on demand):
+
+* :func:`~repro.measures.availability.steady_state_availability` —
+  ``S=? [ "operational" ]``,
+* :func:`~repro.measures.reliability.reliability` /
+  :func:`~repro.measures.reliability.unreliability` —
+  ``1 - P=? [ true U<=t "down" ]`` on the repair-free model,
+* :func:`~repro.measures.service.service_levels` and
+  :func:`~repro.measures.service.service_intervals` — the quantitative
+  service levels and the intervals X1, X2, ... they induce,
+* :func:`~repro.measures.survivability.survivability` — the probability of
+  recovering to a given service level within ``t`` after a disaster
+  (Given-Occurrence-Of-Disaster model),
+* :func:`~repro.measures.costs.instantaneous_cost` and
+  :func:`~repro.measures.costs.accumulated_cost` — ``R=?[I=t]`` and
+  ``R=?[C<=t]`` over the cost reward structure.
+"""
+
+from repro.measures.availability import (
+    combined_availability,
+    steady_state_availability,
+    steady_state_unavailability,
+)
+from repro.measures.reliability import reliability, reliability_curve, unreliability
+from repro.measures.service import service_intervals, service_levels, states_with_service_at_least
+from repro.measures.survivability import (
+    survivability,
+    survivability_curve,
+    survivability_curves_by_interval,
+)
+from repro.measures.costs import (
+    accumulated_cost,
+    accumulated_cost_curve,
+    instantaneous_cost,
+    instantaneous_cost_curve,
+)
+
+__all__ = [
+    "accumulated_cost",
+    "accumulated_cost_curve",
+    "combined_availability",
+    "instantaneous_cost",
+    "instantaneous_cost_curve",
+    "reliability",
+    "reliability_curve",
+    "service_intervals",
+    "service_levels",
+    "states_with_service_at_least",
+    "steady_state_availability",
+    "steady_state_unavailability",
+    "survivability",
+    "survivability_curve",
+    "survivability_curves_by_interval",
+    "unreliability",
+]

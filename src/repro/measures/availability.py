@@ -1,0 +1,65 @@
+"""Availability measures.
+
+Availability is the long-run probability that the system is operational
+(the fault tree does not hold), assuming components are repaired — the CSL
+query ``S=? [ "operational" ]`` of the paper's Section 3.
+
+The paper evaluates each process line separately and combines them with the
+inclusion–exclusion formula
+
+.. math::  A_{1 \\cup 2} = A_1 + A_2 - A_1 A_2 ,
+
+valid because the two lines share no components and are therefore
+statistically independent; :func:`combined_availability` implements exactly
+this combination for any number of independent subsystems.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.arcade.model import ArcadeModel
+from repro.arcade.statespace import ArcadeStateSpace, build_state_space
+from repro.ctmc import steady_state_distribution
+
+
+def _as_state_space(system: ArcadeStateSpace | ArcadeModel) -> ArcadeStateSpace:
+    if isinstance(system, ArcadeStateSpace):
+        return system
+    return build_state_space(system)
+
+
+def steady_state_availability(system: ArcadeStateSpace | ArcadeModel) -> float:
+    """Long-run probability that the system is operational.
+
+    Equivalent to checking ``S=? [ "operational" ]`` on the model's CTMC.
+    """
+    space = _as_state_space(system)
+    distribution = steady_state_distribution(space.chain)
+    mask = space.chain.label_mask("operational")
+    return float(distribution[mask].sum())
+
+
+def steady_state_unavailability(system: ArcadeStateSpace | ArcadeModel) -> float:
+    """Long-run probability that the system is down (``S=? [ "down" ]``)."""
+    return 1.0 - steady_state_availability(system)
+
+
+def combined_availability(availabilities: Iterable[float]) -> float:
+    """Availability of a union of independent subsystems.
+
+    The combined system is available when *at least one* subsystem is
+    available; independence gives
+    ``1 - Π (1 - A_i)``, the inclusion–exclusion formula quoted in Section 5
+    of the paper for the two process lines.
+    """
+    unavailability = 1.0
+    count = 0
+    for availability in availabilities:
+        if not 0.0 <= availability <= 1.0:
+            raise ValueError(f"availability {availability} outside [0, 1]")
+        unavailability *= 1.0 - availability
+        count += 1
+    if count == 0:
+        raise ValueError("combined_availability needs at least one subsystem")
+    return 1.0 - unavailability

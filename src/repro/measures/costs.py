@@ -1,0 +1,85 @@
+"""Repair-cost measures (instantaneous and accumulated cost).
+
+The cost annotations of an Arcade model (idle crews, failed components)
+become a state-reward structure named ``"cost"``; on top of it the paper
+uses two CSRL measures:
+
+* **instantaneous cost** ``R=?[ I=t ]`` — the expected cost *rate* at time
+  ``t`` (Figures 6 and 10),
+* **accumulated cost** ``R=?[ C<=t ]`` — the expected cost accumulated in
+  ``[0, t]`` (Figures 7 and 11).
+
+Both are typically evaluated on the GOOD model, i.e. starting right after a
+disaster, which is what the ``disaster`` parameter selects; without it the
+measures describe normal operation.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.arcade.model import ArcadeModel, Disaster
+from repro.arcade.statespace import ArcadeStateSpace, build_state_space
+from repro.ctmc.rewards import (
+    cumulative_reward,
+    cumulative_reward_curve,
+    instantaneous_reward,
+    instantaneous_reward_curve,
+)
+
+
+def _space_and_initial(
+    system: ArcadeStateSpace | ArcadeModel, disaster: Disaster | str | None
+) -> tuple[ArcadeStateSpace, np.ndarray | None]:
+    space = system if isinstance(system, ArcadeStateSpace) else build_state_space(system)
+    if disaster is None:
+        return space, None
+    return space, space.initial_distribution_for_disaster(disaster)
+
+
+def instantaneous_cost(
+    system: ArcadeStateSpace | ArcadeModel,
+    time: float,
+    disaster: Disaster | str | None = None,
+) -> float:
+    """Expected cost rate at time ``time`` (``R{"cost"}=?[ I=t ]``)."""
+    space, initial = _space_and_initial(system, disaster)
+    return instantaneous_reward(space.reward_model, time, "cost", initial)
+
+
+def instantaneous_cost_curve(
+    system: ArcadeStateSpace | ArcadeModel,
+    horizon: float,
+    disaster: Disaster | str | None = None,
+    points: int = 101,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Instantaneous cost over an evenly spaced grid ``[0, horizon]``."""
+    space, initial = _space_and_initial(system, disaster)
+    times = np.linspace(0.0, horizon, points)
+    values = instantaneous_reward_curve(space.reward_model, times, "cost", initial)
+    return times, values
+
+
+def accumulated_cost(
+    system: ArcadeStateSpace | ArcadeModel,
+    time: float,
+    disaster: Disaster | str | None = None,
+) -> float:
+    """Expected cost accumulated in ``[0, time]`` (``R{"cost"}=?[ C<=t ]``)."""
+    space, initial = _space_and_initial(system, disaster)
+    return cumulative_reward(space.reward_model, time, "cost", initial)
+
+
+def accumulated_cost_curve(
+    system: ArcadeStateSpace | ArcadeModel,
+    horizon: float,
+    disaster: Disaster | str | None = None,
+    points: int = 51,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Accumulated cost over an evenly spaced grid ``[0, horizon]``."""
+    space, initial = _space_and_initial(system, disaster)
+    times = np.linspace(0.0, horizon, points)
+    values = cumulative_reward_curve(space.reward_model, times, "cost", initial)
+    return times, values

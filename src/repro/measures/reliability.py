@@ -1,0 +1,72 @@
+"""Reliability measures.
+
+Reliability is the probability of *continuity of correct service*: no system
+failure within a mission time ``t``.  Following the paper (Section 3),
+
+.. math::
+
+   P_{\\text{Reliability}}(t) = 1 - P\\big[\\, \\text{true } U^{\\le t}\\;
+   S_{\\text{down}} \\big]
+
+evaluated on the model *without repairs* — reliability "does not consider
+repairs, hence we do not distinguish between strategies" (Section 5).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.arcade.model import ArcadeModel
+from repro.arcade.statespace import ArcadeStateSpace, build_state_space
+from repro.ctmc import time_bounded_reachability
+
+
+def _reliability_space(system: ArcadeStateSpace | ArcadeModel) -> ArcadeStateSpace:
+    """Return a repair-free state space for ``system``.
+
+    If an already-expanded state space *with* repairs is passed, the
+    underlying model is re-expanded without repair transitions.
+    """
+    if isinstance(system, ArcadeStateSpace):
+        if not system.with_repairs:
+            return system
+        return build_state_space(system.model, with_repairs=False)
+    return build_state_space(system, with_repairs=False)
+
+
+def unreliability(
+    system: ArcadeStateSpace | ArcadeModel, time: float | Sequence[float]
+) -> float | np.ndarray:
+    """Probability of a system failure within ``time`` (no repairs)."""
+    space = _reliability_space(system)
+    return time_bounded_reachability(space.chain, "down", time)
+
+
+def reliability(
+    system: ArcadeStateSpace | ArcadeModel, time: float | Sequence[float]
+) -> float | np.ndarray:
+    """Probability of *no* system failure within ``time`` (no repairs)."""
+    result = unreliability(system, time)
+    if np.isscalar(result):
+        return 1.0 - float(result)
+    return 1.0 - np.asarray(result)
+
+
+def reliability_curve(
+    system: ArcadeStateSpace | ArcadeModel,
+    horizon: float,
+    points: int = 101,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Reliability over an evenly spaced time grid ``[0, horizon]``.
+
+    Returns ``(times, reliabilities)`` — the series plotted in Figure 3 of
+    the paper.
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    if points < 2:
+        raise ValueError("need at least two grid points")
+    times = np.linspace(0.0, horizon, points)
+    return times, reliability(system, times)

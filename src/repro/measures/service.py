@@ -1,0 +1,73 @@
+"""Quantitative service levels and service intervals.
+
+The paper's quantitative survivability measure is parameterised by a
+*service level* ``x ∈ [0, 1]``: the set ``S_{sl(x)}`` collects the states
+whose service-tree value is at least ``x``.  Because the service tree only
+attains finitely many values, the thresholds fall into finitely many
+*service intervals* (called X1, X2, ... in Section 5) within which the
+survivability curve does not change; these helpers expose both.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import numpy as np
+
+from repro.arcade.model import ArcadeModel
+from repro.arcade.statespace import ArcadeStateSpace, build_state_space
+
+
+def _as_state_space(system: ArcadeStateSpace | ArcadeModel) -> ArcadeStateSpace:
+    if isinstance(system, ArcadeStateSpace):
+        return system
+    return build_state_space(system)
+
+
+def service_levels(system: ArcadeStateSpace | ArcadeModel) -> tuple[Fraction, ...]:
+    """All attainable service levels of the model, sorted ascending."""
+    if isinstance(system, ArcadeStateSpace):
+        tree = system.model.effective_service_tree()
+    else:
+        tree = system.effective_service_tree()
+    return tree.attainable_levels()
+
+
+def service_intervals(system: ArcadeStateSpace | ArcadeModel) -> tuple[tuple[Fraction, Fraction], ...]:
+    """The service intervals X1, X2, ... (half-open; the last is ``[1, 1]``).
+
+    Every threshold within one interval induces the same set ``S_{sl(x)}``
+    and hence the same survivability curve.
+    """
+    if isinstance(system, ArcadeStateSpace):
+        tree = system.model.effective_service_tree()
+    else:
+        tree = system.effective_service_tree()
+    return tree.service_intervals()
+
+
+def states_with_service_at_least(
+    system: ArcadeStateSpace | ArcadeModel, threshold: float | Fraction
+) -> np.ndarray:
+    """State indices of ``S_{sl(threshold)}`` in the expanded state space."""
+    space = _as_state_space(system)
+    return space.states_with_service_at_least(threshold)
+
+
+def service_distribution(
+    system: ArcadeStateSpace | ArcadeModel,
+) -> dict[Fraction, float]:
+    """Long-run probability of each attainable service level.
+
+    A convenient summary that does not appear verbatim in the paper but is a
+    direct by-product of its machinery: the steady-state distribution grouped
+    by service level.
+    """
+    from repro.ctmc import steady_state_distribution
+
+    space = _as_state_space(system)
+    distribution = steady_state_distribution(space.chain)
+    result: dict[Fraction, float] = {}
+    for index, level in enumerate(space.service_levels):
+        result[level] = result.get(level, 0.0) + float(distribution[index])
+    return dict(sorted(result.items()))

@@ -1,0 +1,51 @@
+"""Stochastic reactive modules (a PRISM-style modelling language).
+
+The paper translates Arcade models into the input language of the PRISM
+model checker — *stochastic reactive modules* in CTMC mode.  This package
+provides the same modelling layer:
+
+* :class:`~repro.modules.model.VariableDeclaration` — bounded integer or
+  boolean state variables with initial values,
+* :class:`~repro.modules.model.Command` — guarded commands
+  ``[action] guard -> rate_1 : update_1 + ... + rate_n : update_n``,
+* :class:`~repro.modules.model.Module` — a named set of variables and
+  commands,
+* :class:`~repro.modules.model.ModulesFile` — a system of modules with
+  label definitions and reward structures, composed in parallel with
+  PRISM's CTMC semantics (interleaving for unlabelled commands,
+  rate multiplication for synchronised commands),
+* :func:`~repro.modules.explore.build_ctmc` — explicit-state exploration of
+  the composed system into a labelled :class:`repro.ctmc.CTMC` /
+  :class:`repro.ctmc.MarkovRewardModel`,
+* :mod:`~repro.modules.prism_export` — export of a :class:`ModulesFile` to
+  PRISM's concrete ``.sm`` syntax (and of CSL/CSRL formulas to a ``.csl``
+  properties file), which is the "translate to PRISM" step of the paper's
+  tool chain (Figure 1).
+"""
+
+from repro.modules.model import (
+    Command,
+    Module,
+    ModulesFile,
+    RewardItem,
+    RewardStructureDefinition,
+    Update,
+    VariableDeclaration,
+)
+from repro.modules.explore import ExplorationResult, build_ctmc, build_reward_model
+from repro.modules.prism_export import export_prism_model, export_prism_properties
+
+__all__ = [
+    "Command",
+    "ExplorationResult",
+    "Module",
+    "ModulesFile",
+    "RewardItem",
+    "RewardStructureDefinition",
+    "Update",
+    "VariableDeclaration",
+    "build_ctmc",
+    "build_reward_model",
+    "export_prism_model",
+    "export_prism_properties",
+]

@@ -1,0 +1,101 @@
+"""Export of modules files to PRISM's concrete syntax.
+
+The paper's tool chain (Figure 1) translates the Arcade XML model into
+"PRISM reactive modules" plus "PRISM CSL/CSRL formulae".  These two
+functions produce exactly those artefacts as text, so a user with a PRISM
+installation can cross-check the numbers computed by this library against
+PRISM itself:
+
+* :func:`export_prism_model` → the ``.sm`` model file,
+* :func:`export_prism_properties` → the ``.csl`` properties file.
+
+The export is purely syntactic: expression trees already print in (a subset
+of) PRISM's expression syntax, so the exporter only needs to add the module
+and rewards scaffolding.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.modules.model import Module, ModulesFile, RewardStructureDefinition, VariableDeclaration
+
+
+def _format_value(value: int | bool | float) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return repr(value)
+
+
+def _format_variable(declaration: VariableDeclaration, initial_override: int | bool | None) -> str:
+    initial = declaration.initial_value if initial_override is None else initial_override
+    if declaration.is_boolean:
+        return f"  {declaration.name} : bool init {_format_value(bool(initial))};"
+    return (
+        f"  {declaration.name} : [{declaration.low}..{declaration.high}] "
+        f"init {_format_value(int(initial))};"
+    )
+
+
+def _format_module(module: Module, initial_overrides: dict[str, int | bool]) -> list[str]:
+    lines = [f"module {module.name}"]
+    for declaration in module.variables:
+        lines.append(_format_variable(declaration, initial_overrides.get(declaration.name)))
+    if module.variables and module.commands:
+        lines.append("")
+    for command in module.commands:
+        alternatives = " + ".join(
+            f"{rate} : {update}" for rate, update in command.alternatives
+        )
+        lines.append(f"  [{command.action}] {command.guard} -> {alternatives};")
+    lines.append("endmodule")
+    return lines
+
+
+def _format_rewards(definition: RewardStructureDefinition) -> list[str]:
+    lines = [f'rewards "{definition.name}"']
+    for item in definition.items:
+        if item.is_transition_reward:
+            lines.append(f"  [{item.action}] {item.guard} : {item.value};")
+        else:
+            lines.append(f"  {item.guard} : {item.value};")
+    lines.append("endrewards")
+    return lines
+
+
+def export_prism_model(system: ModulesFile, description: str | None = None) -> str:
+    """Render ``system`` as a PRISM ``.sm`` model file."""
+    system.validate()
+    lines: list[str] = []
+    if description:
+        for row in description.splitlines():
+            lines.append(f"// {row}")
+        lines.append("")
+    lines.append(system.model_type)
+    lines.append("")
+    for name, value in sorted(system.constants.items()):
+        kind = "bool" if isinstance(value, bool) else ("int" if isinstance(value, int) else "double")
+        lines.append(f"const {kind} {name} = {_format_value(value)};")
+    if system.constants:
+        lines.append("")
+    for module in system.modules:
+        lines.extend(_format_module(module, system.initial_overrides))
+        lines.append("")
+    for name, expression in sorted(system.labels.items()):
+        lines.append(f'label "{name}" = {expression};')
+    if system.labels:
+        lines.append("")
+    for definition in system.rewards:
+        lines.extend(_format_rewards(definition))
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
+def export_prism_properties(formulas: Iterable[object] | Sequence[str]) -> str:
+    """Render CSL/CSRL formulas as a PRISM properties file.
+
+    Accepts either already-formatted strings or formula objects from
+    :mod:`repro.csl.formulas` (anything with a sensible ``str()``).
+    """
+    lines = [str(formula) for formula in formulas]
+    return "\n".join(lines).rstrip() + "\n"

@@ -1,0 +1,39 @@
+"""Discrete-event Monte-Carlo simulation of Arcade models.
+
+The numerical engine of this library computes measures *exactly* (up to
+truncation error) from the CTMC.  This package provides an independent
+estimator for the same measures by simulating the Arcade model directly —
+drawing exponential failure and repair times, replaying the repair-unit
+scheduling logic, and recording the quantities of interest per run:
+
+* :class:`~repro.sim.simulator.ArcadeSimulator` — the event-driven engine,
+* :func:`~repro.sim.estimators.estimate_availability`,
+  :func:`~repro.sim.estimators.estimate_unreliability`,
+  :func:`~repro.sim.estimators.estimate_survivability`,
+  :func:`~repro.sim.estimators.estimate_accumulated_cost` — Monte-Carlo
+  estimators with confidence intervals.
+
+The simulator shares the scheduling code (queue insertion, crews, spares)
+with the analytic path, but *not* the CTMC machinery, so agreement between
+simulation and numerical results is a meaningful cross-validation; the test
+suite uses it exactly that way.
+"""
+
+from repro.sim.simulator import ArcadeSimulator, SimulationRun
+from repro.sim.estimators import (
+    ConfidenceInterval,
+    estimate_accumulated_cost,
+    estimate_availability,
+    estimate_survivability,
+    estimate_unreliability,
+)
+
+__all__ = [
+    "ArcadeSimulator",
+    "ConfidenceInterval",
+    "SimulationRun",
+    "estimate_accumulated_cost",
+    "estimate_availability",
+    "estimate_survivability",
+    "estimate_unreliability",
+]

@@ -1,0 +1,138 @@
+"""Monte-Carlo estimators with confidence intervals.
+
+Each estimator runs the :class:`~repro.sim.simulator.ArcadeSimulator`
+repeatedly and aggregates a per-run statistic into a mean with a normal-
+approximation confidence interval.  They mirror the analytic measures of
+:mod:`repro.measures` one-to-one, which is what makes them useful as an
+independent cross-check in the test suite.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arcade.model import ArcadeModel, Disaster
+from repro.sim.simulator import ArcadeSimulator
+
+#: Two-sided z-values for the confidence levels the estimators support.
+_Z_VALUES = {0.90: 1.6449, 0.95: 1.9600, 0.99: 2.5758}
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A Monte-Carlo estimate: mean, half-width and sample count."""
+
+    mean: float
+    half_width: float
+    samples: int
+    confidence: float = 0.95
+
+    @property
+    def lower(self) -> float:
+        return self.mean - self.half_width
+
+    @property
+    def upper(self) -> float:
+        return self.mean + self.half_width
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.lower <= value <= self.upper
+
+    def __str__(self) -> str:
+        return f"{self.mean:.6g} ± {self.half_width:.2g} ({int(self.confidence * 100)}% CI, n={self.samples})"
+
+
+def _interval(samples: np.ndarray, confidence: float) -> ConfidenceInterval:
+    if confidence not in _Z_VALUES:
+        raise ValueError(f"confidence must be one of {sorted(_Z_VALUES)}")
+    count = len(samples)
+    if count < 2:
+        raise ValueError("need at least two samples for a confidence interval")
+    mean = float(np.mean(samples))
+    deviation = float(np.std(samples, ddof=1))
+    half_width = _Z_VALUES[confidence] * deviation / math.sqrt(count)
+    return ConfidenceInterval(mean=mean, half_width=half_width, samples=count, confidence=confidence)
+
+
+def estimate_availability(
+    model: ArcadeModel,
+    horizon: float = 20_000.0,
+    runs: int = 20,
+    seed: int | None = 0,
+    confidence: float = 0.95,
+) -> ConfidenceInterval:
+    """Estimate long-run availability as the time-average over long runs."""
+    simulator = ArcadeSimulator(model, with_repairs=True, seed=seed)
+    samples = []
+    for _ in range(runs):
+        run = simulator.simulate(horizon)
+        operational_time = 0.0
+        for start, end, state in run.holding_intervals():
+            if simulator.is_operational(state):
+                operational_time += end - start
+        samples.append(operational_time / horizon)
+    return _interval(np.asarray(samples), confidence)
+
+
+def estimate_unreliability(
+    model: ArcadeModel,
+    time: float,
+    runs: int = 2000,
+    seed: int | None = 0,
+    confidence: float = 0.95,
+) -> ConfidenceInterval:
+    """Estimate the probability of a system failure within ``time`` (no repairs)."""
+    simulator = ArcadeSimulator(model, with_repairs=False, seed=seed)
+    samples = []
+    for _ in range(runs):
+        run = simulator.simulate(time)
+        failed_by_deadline = any(
+            not simulator.is_operational(state) for state in run.states
+        )
+        samples.append(1.0 if failed_by_deadline else 0.0)
+    return _interval(np.asarray(samples), confidence)
+
+
+def estimate_survivability(
+    model: ArcadeModel,
+    disaster: Disaster | str,
+    service_level: float,
+    time: float,
+    runs: int = 2000,
+    seed: int | None = 0,
+    confidence: float = 0.95,
+) -> ConfidenceInterval:
+    """Estimate the probability of recovering to ``service_level`` within ``time``."""
+    simulator = ArcadeSimulator(model, with_repairs=True, seed=seed)
+    samples = []
+    for _ in range(runs):
+        run = simulator.simulate(time, disaster=disaster)
+        recovered = any(
+            float(simulator.service_level(state)) >= service_level for state in run.states
+        )
+        samples.append(1.0 if recovered else 0.0)
+    return _interval(np.asarray(samples), confidence)
+
+
+def estimate_accumulated_cost(
+    model: ArcadeModel,
+    time: float,
+    disaster: Disaster | str | None = None,
+    runs: int = 500,
+    seed: int | None = 0,
+    confidence: float = 0.95,
+) -> ConfidenceInterval:
+    """Estimate the expected cost accumulated in ``[0, time]``."""
+    simulator = ArcadeSimulator(model, with_repairs=True, seed=seed)
+    samples = []
+    for _ in range(runs):
+        run = simulator.simulate(time, disaster=disaster)
+        cost = 0.0
+        for start, end, state in run.holding_intervals():
+            cost += (end - start) * simulator.cost_rate(state)
+        samples.append(cost)
+    return _interval(np.asarray(samples), confidence)

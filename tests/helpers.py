@@ -1,0 +1,67 @@
+"""Shared model builders used by fixtures and tests alike."""
+
+from __future__ import annotations
+
+from repro.arcade import (
+    ArcadeModel,
+    BasicComponent,
+    BasicEvent,
+    FaultTree,
+    KOfN,
+    Or,
+    RepairUnit,
+    SpareManagementUnit,
+)
+from repro.arcade.model import Disaster
+
+
+def make_mini_model(
+    strategy: str = "fastest_repair_first",
+    crews: int = 1,
+    preemptive: bool = True,
+) -> ArcadeModel:
+    """A three-component model small enough for exhaustive cross-checks."""
+    components = (
+        BasicComponent("alpha", mttf=100.0, mttr=2.0, priority=2),
+        BasicComponent("beta", mttf=50.0, mttr=5.0, priority=1),
+        BasicComponent("gamma", mttf=200.0, mttr=1.0, priority=3),
+    )
+    repair = RepairUnit(
+        "unit",
+        strategy=strategy,
+        components=("alpha", "beta", "gamma"),
+        crews=crews,
+        preemptive=preemptive,
+    )
+    fault_tree = FaultTree(
+        Or(BasicEvent("alpha"), BasicEvent("beta"), BasicEvent("gamma"))
+    )
+    disaster = Disaster("everything", ("alpha", "beta", "gamma"))
+    return ArcadeModel(
+        name="mini",
+        components=components,
+        repair_units=(repair,),
+        fault_tree=fault_tree,
+        disasters=(disaster,),
+    )
+
+
+def make_spare_model(dormancy: float = 0.0) -> ArcadeModel:
+    """Two pumps (one needed) with a configurable standby mode, plus a valve."""
+    components = (
+        BasicComponent("pump1", mttf=100.0, mttr=4.0, dormancy_factor=dormancy),
+        BasicComponent("pump2", mttf=100.0, mttr=4.0, dormancy_factor=dormancy),
+        BasicComponent("valve", mttf=400.0, mttr=8.0),
+    )
+    repair = RepairUnit("unit", "fcfs", ("pump1", "pump2", "valve"), crews=1)
+    spare = SpareManagementUnit("pumps", ("pump1", "pump2"), required=1)
+    fault_tree = FaultTree(
+        Or(KOfN(2, [BasicEvent("pump1"), BasicEvent("pump2")]), BasicEvent("valve"))
+    )
+    return ArcadeModel(
+        name="spares",
+        components=components,
+        repair_units=(repair,),
+        spare_units=(spare,),
+        fault_tree=fault_tree,
+    )

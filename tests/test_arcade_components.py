@@ -1,0 +1,87 @@
+"""Tests for Arcade basic components, component groups and cost models."""
+
+import pytest
+
+from repro.arcade import BasicComponent, CostModel
+from repro.arcade.components import ArcadeModelError, ComponentGroup
+
+
+class TestBasicComponent:
+    def test_rates_from_mean_times(self):
+        pump = BasicComponent("pump", mttf=500.0, mttr=1.0)
+        assert pump.failure_rate == pytest.approx(1.0 / 500.0)
+        assert pump.repair_rate == pytest.approx(1.0)
+        assert pump.availability == pytest.approx(500.0 / 501.0)
+
+    def test_from_rates(self):
+        component = BasicComponent.from_rates("x", failure_rate=0.01, repair_rate=0.5)
+        assert component.mttf == pytest.approx(100.0)
+        assert component.mttr == pytest.approx(2.0)
+
+    def test_dormancy(self):
+        cold = BasicComponent("spare", 100.0, 5.0, dormancy_factor=0.0)
+        warm = BasicComponent("spare2", 100.0, 5.0, dormancy_factor=0.5)
+        assert cold.dormant_failure_rate == 0.0
+        assert warm.dormant_failure_rate == pytest.approx(0.005)
+
+    def test_default_class_is_name(self):
+        assert BasicComponent("valve", 10.0, 1.0).component_class == "valve"
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"name": "", "mttf": 1.0, "mttr": 1.0},
+            {"name": "x", "mttf": 0.0, "mttr": 1.0},
+            {"name": "x", "mttf": 1.0, "mttr": -2.0},
+            {"name": "x", "mttf": 1.0, "mttr": 1.0, "dormancy_factor": 2.0},
+            {"name": "x", "mttf": 1.0, "mttr": 1.0, "failure_modes": ()},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        with pytest.raises(ArcadeModelError):
+            BasicComponent(**kwargs)
+
+    def test_renamed_and_priority(self):
+        template = BasicComponent("pump", 500.0, 1.0, component_class="pump", priority=3)
+        copy = template.renamed("pump7").with_priority(1)
+        assert copy.name == "pump7"
+        assert copy.component_class == "pump"
+        assert copy.priority == 1
+        assert template.priority == 3  # original untouched
+
+    def test_component_group(self):
+        group = ComponentGroup(BasicComponent("pump", 500.0, 1.0, component_class="pump"), 3)
+        members = group.members()
+        assert [member.name for member in members] == ["pump1", "pump2", "pump3"]
+        assert all(member.component_class == "pump" for member in members)
+        with pytest.raises(ArcadeModelError):
+            ComponentGroup(BasicComponent("pump", 500.0, 1.0), 0)
+
+
+class TestCostModel:
+    def test_paper_default(self):
+        costs = CostModel.paper_default()
+        assert costs.component_down_cost == 3.0
+        assert costs.crew_idle_cost == 1.0
+        assert costs.component_up_cost == 0.0
+        assert costs.crew_busy_cost == 0.0
+
+    def test_overrides(self):
+        costs = CostModel(component_down_overrides={"pump": 10.0})
+        assert costs.down_cost("pump") == 10.0
+        assert costs.down_cost("other") == 3.0
+
+    def test_crew_cost(self):
+        costs = CostModel(crew_idle_cost=2.0, crew_busy_cost=0.5)
+        assert costs.crew_cost(idle_crews=3, busy_crews=2) == pytest.approx(7.0)
+        with pytest.raises(ValueError):
+            costs.crew_cost(-1, 0)
+
+    def test_negative_rates_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(component_down_cost=-1.0)
+
+    def test_zero_model(self):
+        costs = CostModel.zero()
+        assert costs.down_cost("anything") == 0.0
+        assert costs.crew_cost(5, 5) == 0.0

@@ -1,0 +1,192 @@
+"""Tests for repair units: strategies, queue mechanics, crews, disasters."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arcade import BasicComponent, RepairStrategy, RepairUnit
+from repro.arcade.components import ArcadeModelError
+
+COMPONENTS = {
+    "fast_repair": BasicComponent("fast_repair", mttf=100.0, mttr=1.0, priority=2),
+    "slow_repair": BasicComponent("slow_repair", mttf=50.0, mttr=10.0, priority=1),
+    "medium": BasicComponent("medium", mttf=200.0, mttr=5.0, priority=3),
+    "twin": BasicComponent("twin", mttf=100.0, mttr=1.0, priority=4),
+}
+
+
+def unit(strategy, crews=1, preemptive=True) -> RepairUnit:
+    return RepairUnit(
+        "ru", strategy, tuple(COMPONENTS), crews=crews, preemptive=preemptive
+    )
+
+
+class TestStrategyParsing:
+    @pytest.mark.parametrize(
+        "text, expected",
+        [
+            ("ded", RepairStrategy.DEDICATED),
+            ("Dedicated", RepairStrategy.DEDICATED),
+            ("FCFS", RepairStrategy.FCFS),
+            ("first-come-first-serve", RepairStrategy.FCFS),
+            ("FRF", RepairStrategy.FASTEST_REPAIR_FIRST),
+            ("fastest repair first", RepairStrategy.FASTEST_REPAIR_FIRST),
+            ("fff", RepairStrategy.FASTEST_FAILURE_FIRST),
+            ("priority", RepairStrategy.PRIORITY),
+        ],
+    )
+    def test_aliases(self, text, expected):
+        assert RepairStrategy.from_string(text) is expected
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ArcadeModelError):
+            RepairStrategy.from_string("quantum")
+
+    def test_short_names(self):
+        assert RepairStrategy.FASTEST_REPAIR_FIRST.short_name(2) == "FRF-2"
+        assert RepairStrategy.DEDICATED.short_name(5) == "DED"
+        assert unit("frf", crews=2).label == "FRF-2"
+
+
+class TestValidation:
+    def test_needs_components(self):
+        with pytest.raises(ArcadeModelError):
+            RepairUnit("ru", "frf", ())
+
+    def test_duplicate_components(self):
+        with pytest.raises(ArcadeModelError):
+            RepairUnit("ru", "frf", ("a", "a"))
+
+    def test_needs_crews(self):
+        with pytest.raises(ArcadeModelError):
+            RepairUnit("ru", "frf", ("a",), crews=0)
+
+    def test_effective_crews_for_dedicated(self):
+        assert unit("dedicated").effective_crews() == len(COMPONENTS)
+        assert unit("frf", crews=2).effective_crews() == 2
+
+
+class TestQueueMechanics:
+    def test_frf_orders_by_repair_time(self):
+        ru = unit("frf")
+        queue = ()
+        queue = ru.insert(queue, COMPONENTS["slow_repair"], COMPONENTS)
+        queue = ru.insert(queue, COMPONENTS["medium"], COMPONENTS)
+        queue = ru.insert(queue, COMPONENTS["fast_repair"], COMPONENTS)
+        assert queue == ("fast_repair", "medium", "slow_repair")
+
+    def test_fff_orders_by_failure_time(self):
+        ru = unit("fff")
+        queue = ()
+        for name in ("fast_repair", "slow_repair", "medium"):
+            queue = ru.insert(queue, COMPONENTS[name], COMPONENTS)
+        assert queue == ("slow_repair", "fast_repair", "medium")
+
+    def test_fcfs_preserves_arrival_order(self):
+        ru = unit("fcfs")
+        queue = ()
+        for name in ("medium", "fast_repair", "slow_repair"):
+            queue = ru.insert(queue, COMPONENTS[name], COMPONENTS)
+        assert queue == ("medium", "fast_repair", "slow_repair")
+
+    def test_priority_strategy(self):
+        ru = unit("priority")
+        queue = ()
+        for name in ("medium", "fast_repair", "slow_repair"):
+            queue = ru.insert(queue, COMPONENTS[name], COMPONENTS)
+        assert queue == ("slow_repair", "fast_repair", "medium")
+
+    def test_ties_are_fcfs(self):
+        ru = unit("frf")
+        queue = ()
+        queue = ru.insert(queue, COMPONENTS["twin"], COMPONENTS)
+        queue = ru.insert(queue, COMPONENTS["fast_repair"], COMPONENTS)
+        # Same MTTR: the earlier arrival stays first.
+        assert queue == ("twin", "fast_repair")
+
+    def test_dedicated_queue_is_canonical(self):
+        ru = unit("dedicated")
+        queue_one = ru.insert(ru.insert((), COMPONENTS["medium"], COMPONENTS), COMPONENTS["twin"], COMPONENTS)
+        queue_two = ru.insert(ru.insert((), COMPONENTS["twin"], COMPONENTS), COMPONENTS["medium"], COMPONENTS)
+        assert queue_one == queue_two
+        assert ru.in_service(queue_one) == queue_one  # everything repaired at once
+
+    def test_double_insert_rejected(self):
+        ru = unit("frf")
+        queue = ru.insert((), COMPONENTS["medium"], COMPONENTS)
+        with pytest.raises(ArcadeModelError):
+            ru.insert(queue, COMPONENTS["medium"], COMPONENTS)
+
+    def test_remove(self):
+        ru = unit("frf")
+        queue = ("fast_repair", "medium")
+        assert ru.remove(queue, "fast_repair") == ("medium",)
+        with pytest.raises(ArcadeModelError):
+            ru.remove(queue, "slow_repair")
+
+    def test_in_service_and_crew_counts(self):
+        ru = unit("frf", crews=2)
+        queue = ("fast_repair", "medium", "slow_repair")
+        assert ru.in_service(queue) == ("fast_repair", "medium")
+        assert ru.busy_crews(queue) == 2
+        assert ru.idle_crews(queue) == 0
+        assert ru.idle_crews(("fast_repair",)) == 1
+
+    def test_non_preemptive_insertion_never_displaces_service(self):
+        ru = unit("frf", crews=1, preemptive=False)
+        queue = ru.insert((), COMPONENTS["slow_repair"], COMPONENTS)
+        queue = ru.insert(queue, COMPONENTS["fast_repair"], COMPONENTS)
+        # The fast-repair arrival queues *behind* the component in service.
+        assert queue == ("slow_repair", "fast_repair")
+
+    def test_preemptive_insertion_displaces_service(self):
+        ru = unit("frf", crews=1, preemptive=True)
+        queue = ru.insert((), COMPONENTS["slow_repair"], COMPONENTS)
+        queue = ru.insert(queue, COMPONENTS["fast_repair"], COMPONENTS)
+        assert queue == ("fast_repair", "slow_repair")
+
+    def test_initial_queue_uses_priorities(self):
+        ru = unit("fcfs")
+        queue = ru.initial_queue(["medium", "fast_repair", "slow_repair"], COMPONENTS)
+        # FCFS: arrival order is the priority order slow_repair(1) < fast_repair(2) < medium(3).
+        assert queue == ("slow_repair", "fast_repair", "medium")
+
+    def test_with_strategy_copy(self):
+        ru = unit("frf", crews=1)
+        changed = ru.with_strategy("fff", crews=2)
+        assert changed.strategy is RepairStrategy.FASTEST_FAILURE_FIRST
+        assert changed.crews == 2
+        assert ru.crews == 1
+
+
+# ---------------------------------------------------------------------------
+# property-based: queue invariants under arbitrary insert/remove sequences
+# ---------------------------------------------------------------------------
+_component_names = st.sampled_from(sorted(COMPONENTS))
+_strategies = st.sampled_from(["fcfs", "frf", "fff", "priority"])
+
+
+@given(
+    strategy=_strategies,
+    crews=st.integers(1, 3),
+    operations=st.lists(_component_names, min_size=1, max_size=12),
+)
+@settings(max_examples=200, deadline=None)
+def test_queue_invariants(strategy, crews, operations):
+    """The queue always contains each failed component exactly once, in policy order."""
+    ru = RepairUnit("ru", strategy, tuple(COMPONENTS), crews=crews)
+    queue: tuple[str, ...] = ()
+    for name in operations:
+        if name in queue:
+            queue = ru.remove(queue, name)
+        else:
+            queue = ru.insert(queue, COMPONENTS[name], COMPONENTS)
+        # No duplicates, all known components.
+        assert len(set(queue)) == len(queue)
+        assert set(queue) <= set(COMPONENTS)
+        # Policy keys are non-decreasing along the queue (FCFS trivially so).
+        keys = [ru.policy_key(COMPONENTS[item]) for item in queue]
+        assert keys == sorted(keys)
+        # The in-service prefix never exceeds the crew count.
+        assert len(ru.in_service(queue)) == min(crews, len(queue))
+        assert ru.idle_crews(queue) + ru.busy_crews(queue) == ru.effective_crews()

@@ -1,0 +1,148 @@
+"""Tests for the Arcade XML format, including property-based round trips."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arcade import (
+    ArcadeModel,
+    BasicComponent,
+    BasicEvent,
+    FaultTree,
+    KOfN,
+    Or,
+    RepairUnit,
+    SpareManagementUnit,
+    model_from_xml,
+    model_to_xml,
+    read_model,
+    write_model,
+)
+from repro.arcade.model import Disaster
+from repro.arcade.xml_io import ArcadeXMLError
+from repro.casestudy import build_line2
+from helpers import make_mini_model, make_spare_model
+
+
+def assert_models_equal(left: ArcadeModel, right: ArcadeModel) -> None:
+    assert left.name == right.name
+    assert left.components == right.components
+    assert left.repair_units == right.repair_units
+    assert left.spare_units == right.spare_units
+    assert left.disasters == right.disasters
+    assert left.cost_model == right.cost_model
+    if left.fault_tree is None:
+        assert right.fault_tree is None
+    else:
+        assert str(left.fault_tree) == str(right.fault_tree)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "model",
+        [make_mini_model(), make_mini_model("dedicated"), make_spare_model(), build_line2("frf", 2)],
+        ids=["mini-frf", "mini-ded", "spares", "line2"],
+    )
+    def test_round_trip(self, model):
+        restored = model_from_xml(model_to_xml(model))
+        assert_models_equal(model, restored)
+
+    def test_file_round_trip(self, tmp_path, mini_model):
+        path = tmp_path / "model.xml"
+        write_model(mini_model, path)
+        assert_models_equal(mini_model, read_model(path))
+
+    def test_round_tripped_model_produces_identical_state_space(self, mini_model):
+        from repro.arcade import build_state_space
+
+        original = build_state_space(mini_model)
+        restored = build_state_space(model_from_xml(model_to_xml(mini_model)))
+        assert original.num_states == restored.num_states
+        assert original.num_transitions == restored.num_transitions
+
+
+class TestErrors:
+    def test_not_xml(self):
+        with pytest.raises(ArcadeXMLError):
+            model_from_xml("this is not xml")
+
+    def test_wrong_root(self):
+        with pytest.raises(ArcadeXMLError):
+            model_from_xml("<nonsense/>")
+
+    def test_missing_attribute(self):
+        text = '<arcade name="x"><components><component name="a" mttf="1"/></components></arcade>'
+        with pytest.raises(ArcadeXMLError):
+            model_from_xml(text)
+
+    def test_unknown_fault_tree_gate(self):
+        text = (
+            '<arcade name="x"><components>'
+            '<component name="a" mttf="1" mttr="1"/></components>'
+            "<fault-tree><xor/></fault-tree></arcade>"
+        )
+        with pytest.raises(ArcadeXMLError):
+            model_from_xml(text)
+
+    def test_multiple_fault_tree_roots_rejected(self):
+        text = (
+            '<arcade name="x"><components>'
+            '<component name="a" mttf="1" mttr="1"/></components>'
+            '<fault-tree><event component="a"/><event component="a"/></fault-tree></arcade>'
+        )
+        with pytest.raises(ArcadeXMLError):
+            model_from_xml(text)
+
+
+# ---------------------------------------------------------------------------
+# property-based round trip over randomly generated models
+# ---------------------------------------------------------------------------
+_strategies = st.sampled_from(["dedicated", "fcfs", "fastest_repair_first", "fastest_failure_first", "priority"])
+
+
+@st.composite
+def random_models(draw) -> ArcadeModel:
+    count = draw(st.integers(min_value=2, max_value=5))
+    components = tuple(
+        BasicComponent(
+            name=f"c{i}",
+            mttf=float(draw(st.integers(1, 10_000))),
+            mttr=float(draw(st.integers(1, 500))),
+            priority=draw(st.integers(0, 5)),
+            dormancy_factor=draw(st.sampled_from([0.0, 0.5, 1.0])),
+        )
+        for i in range(count)
+    )
+    covered = tuple(component.name for component in components[: draw(st.integers(1, count))])
+    unit = RepairUnit(
+        "ru",
+        draw(_strategies),
+        covered,
+        crews=draw(st.integers(1, 3)),
+        preemptive=draw(st.booleans()),
+    )
+    spare_units = ()
+    if count >= 3 and draw(st.booleans()):
+        spare_units = (SpareManagementUnit("sp", (components[0].name, components[1].name), required=1),)
+    fault_tree = FaultTree(
+        Or(
+            KOfN(1, [BasicEvent(component.name) for component in components[:2]]),
+            *(BasicEvent(component.name) for component in components[2:]),
+        )
+    )
+    disasters = (Disaster("worst", tuple(component.name for component in components)),)
+    return ArcadeModel(
+        name="random",
+        components=components,
+        repair_units=(unit,),
+        spare_units=spare_units,
+        fault_tree=fault_tree,
+        disasters=disasters,
+    )
+
+
+@given(model=random_models())
+@settings(max_examples=50, deadline=None)
+def test_xml_round_trip_property(model):
+    restored = model_from_xml(model_to_xml(model))
+    assert_models_equal(model, restored)

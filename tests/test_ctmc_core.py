@@ -1,0 +1,149 @@
+"""Tests for the CTMC data structure and the incremental builder."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.ctmc import CTMC, MarkovRewardModel, RewardStructure
+from repro.ctmc.ctmc import CTMCBuilder, CTMCError
+
+
+class TestConstruction:
+    def test_basic_properties(self, two_state_chain):
+        assert two_state_chain.num_states == 2
+        assert two_state_chain.num_transitions == 2
+        assert two_state_chain.max_exit_rate == pytest.approx(0.5)
+        assert two_state_chain.exit_rates == pytest.approx([0.01, 0.5])
+
+    def test_diagonal_entries_are_dropped(self):
+        rates = np.array([[5.0, 1.0], [2.0, 7.0]])
+        chain = CTMC(rates, {0: 1.0})
+        assert chain.num_transitions == 2
+        assert chain.exit_rates == pytest.approx([1.0, 2.0])
+
+    def test_non_square_rejected(self):
+        with pytest.raises(CTMCError):
+            CTMC(np.ones((2, 3)), {0: 1.0})
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(CTMCError):
+            CTMC(np.array([[0.0, -1.0], [0.0, 0.0]]), {0: 1.0})
+
+    def test_initial_distribution_validation(self):
+        rates = np.zeros((2, 2))
+        with pytest.raises(CTMCError):
+            CTMC(rates, {5: 1.0})
+        with pytest.raises(CTMCError):
+            CTMC(rates, [0.0, 0.0])
+        with pytest.raises(CTMCError):
+            CTMC(rates, [0.5, -0.5])
+
+    def test_initial_distribution_is_normalised(self):
+        chain = CTMC(np.zeros((2, 2)), [2.0, 2.0])
+        assert chain.initial_distribution == pytest.approx([0.5, 0.5])
+
+    def test_generator_rows_sum_to_zero(self, two_state_chain):
+        generator = two_state_chain.generator_matrix()
+        assert np.asarray(generator.sum(axis=1)).ravel() == pytest.approx([0.0, 0.0])
+
+    def test_uniformized_matrix_is_stochastic(self, two_state_chain):
+        matrix, rate = two_state_chain.uniformized_matrix()
+        assert rate == pytest.approx(0.5)
+        assert np.asarray(matrix.sum(axis=1)).ravel() == pytest.approx([1.0, 1.0])
+
+    def test_uniformization_rate_too_small_rejected(self, two_state_chain):
+        with pytest.raises(CTMCError):
+            two_state_chain.uniformized_matrix(rate=0.1)
+
+
+class TestLabels:
+    def test_label_masks(self, two_state_chain):
+        assert list(two_state_chain.label_states("up")) == [0]
+        assert list(two_state_chain.label_states("down")) == [1]
+        assert two_state_chain.labels_of_state(0) == {"up"}
+
+    def test_unknown_label(self, two_state_chain):
+        with pytest.raises(CTMCError):
+            two_state_chain.label_mask("nonexistent")
+
+    def test_add_label_with_boolean_mask(self, two_state_chain):
+        two_state_chain.add_label("everything", np.array([True, True]))
+        assert two_state_chain.label_mask("everything").sum() == 2
+
+    def test_label_index_out_of_range(self, two_state_chain):
+        with pytest.raises(CTMCError):
+            two_state_chain.add_label("bad", [7])
+
+
+class TestTransformations:
+    def test_make_absorbing(self, two_state_chain):
+        absorbing = two_state_chain.make_absorbing([1])
+        assert absorbing.num_transitions == 1
+        assert absorbing.exit_rates[1] == 0.0
+        # Labels survive the transformation.
+        assert list(absorbing.label_states("down")) == [1]
+
+    def test_with_initial_distribution(self, two_state_chain):
+        moved = two_state_chain.with_initial_distribution({1: 1.0})
+        assert moved.initial_state == 1
+        assert two_state_chain.initial_state == 0
+
+    def test_successors(self, two_state_chain):
+        assert two_state_chain.successors(0) == [(1, 0.01)]
+
+
+class TestRewards:
+    def test_reward_structure_validation(self, two_state_chain):
+        structure = RewardStructure("cost", np.array([0.0, 3.0]))
+        model = MarkovRewardModel(two_state_chain, structure)
+        assert model.reward_names == ("cost",)
+        assert model.reward_structure().name == "cost"
+        assert model.reward_structure("cost").expected_rate(np.array([0.5, 0.5])) == 1.5
+
+    def test_mismatched_size_rejected(self, two_state_chain):
+        with pytest.raises(CTMCError):
+            MarkovRewardModel(two_state_chain, RewardStructure("cost", np.zeros(3)))
+
+    def test_unknown_reward_name(self, two_state_chain):
+        model = MarkovRewardModel(two_state_chain, RewardStructure("cost", np.zeros(2)))
+        with pytest.raises(CTMCError):
+            model.reward_structure("other")
+
+    def test_multiple_structures_need_a_name(self, two_state_chain):
+        model = MarkovRewardModel(
+            two_state_chain,
+            [RewardStructure("a", np.zeros(2)), RewardStructure("b", np.ones(2))],
+        )
+        with pytest.raises(CTMCError):
+            model.reward_structure()
+        assert model.reward_structure("b").state_rewards[0] == 1.0
+
+
+class TestBuilder:
+    def test_builder_accumulates_parallel_transitions(self):
+        builder = CTMCBuilder()
+        a = builder.add_state("a")
+        b = builder.add_state("b")
+        builder.add_transition(a, b, 1.0)
+        builder.add_transition(a, b, 2.0)
+        builder.add_label("start", a)
+        chain = builder.build({a: 1.0})
+        assert chain.num_states == 2
+        assert chain.rate_matrix[a, b] == pytest.approx(3.0)
+        assert chain.describe_state(0) == "a"
+        assert list(chain.label_states("start")) == [0]
+
+    def test_builder_rejects_negative_rate(self):
+        builder = CTMCBuilder()
+        a = builder.add_state()
+        b = builder.add_state()
+        with pytest.raises(CTMCError):
+            builder.add_transition(a, b, -1.0)
+
+    def test_zero_rate_and_self_loop_ignored(self):
+        builder = CTMCBuilder()
+        a = builder.add_state()
+        builder.add_transition(a, a, 5.0)
+        builder.add_transition(a, a, 0.0)
+        chain = builder.build({a: 1.0})
+        assert chain.num_transitions == 0

@@ -1,0 +1,96 @@
+"""Tests for the experiment drivers and the command-line front end.
+
+The full-resolution experiments are exercised by the benchmark harness; here
+they run on coarse grids / the cheaper line to keep the test suite fast while
+still covering the experiment and CLI code paths end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.casestudy import experiments as exp
+from repro.casestudy.facility import StrategyConfiguration
+from repro.arcade.repair import RepairStrategy
+from repro.cli import build_parser, main
+
+
+@pytest.fixture(autouse=True)
+def _keep_cache():
+    """The experiment cache is shared; leave it in place to speed the suite up."""
+    yield
+
+
+class TestExperimentHelpers:
+    def test_line_state_space_is_cached(self):
+        configuration = StrategyConfiguration(RepairStrategy.DEDICATED, 1)
+        first = exp.line_state_space("line2", configuration)
+        second = exp.line_state_space("line2", configuration)
+        assert first is second
+
+    def test_clear_cache(self):
+        configuration = StrategyConfiguration(RepairStrategy.DEDICATED, 1)
+        first = exp.line_state_space("line2", configuration)
+        exp.clear_cache()
+        second = exp.line_state_space("line2", configuration)
+        assert first is not second
+
+    def test_table_result_helpers(self):
+        table = exp.TableResult("t", ("name", "value"), [("a", 1), ("b", 2)])
+        assert table.column("value") == [1, 2]
+        assert table.row_by("name", "b") == ("b", 2)
+        with pytest.raises(KeyError):
+            table.row_by("name", "zz")
+        assert "name,value" in table.to_csv()
+
+    def test_curve_result_helpers(self):
+        curve = exp.CurveResult(
+            "c", np.array([0.0, 1.0, 2.0]), {"s": np.array([0.0, 0.5, 1.0])}
+        )
+        assert curve.value_at("s", 1.1) == 0.5
+        assert curve.final_value("s") == 1.0
+        assert "t,s" in curve.to_csv()
+        assert "c" in curve.to_text()
+
+
+class TestFigureExperimentsCoarse:
+    def test_figure3_reliability(self):
+        result = exp.figure3_reliability(horizon=400.0, points=9)
+        assert set(result.series) == {"line1", "line2"}
+        assert np.all(result.series["line2"] >= result.series["line1"] - 1e-12)
+
+    def test_figure8_9_line2(self):
+        figure8, figure9 = exp.figure8_9_survivability_line2(horizon=40.0, points=9)
+        assert set(figure8.series) == {"DED", "FRF-1", "FRF-2", "FFF-1", "FFF-2"}
+        assert figure8.value_at("FFF-1", 20.0) < figure8.value_at("FRF-1", 20.0)
+        assert figure9.value_at("FFF-2", 20.0) > figure9.value_at("FRF-2", 20.0)
+
+    def test_figure10_11_line2(self):
+        figure10, figure11 = exp.figure10_11_costs_line2(
+            instantaneous_horizon=30.0, accumulated_horizon=30.0, points=7
+        )
+        for values in figure10.series.values():
+            assert values[0] == pytest.approx(15.0, abs=1e-6)
+        assert figure11.final_value("FFF-1") > figure11.final_value("FRF-2")
+
+
+class TestCommandLine:
+    def test_parser_rejects_unknown_experiment(self):
+        parser = build_parser()
+        with pytest.raises(SystemExit):
+            parser.parse_args(["table99"])
+
+    def test_fig3_to_csv_files(self, tmp_path, capsys):
+        exit_code = main(["fig3", "--points", "5", "--output", str(tmp_path), "--no-plot"])
+        assert exit_code == 0
+        written = tmp_path / "fig3.csv"
+        assert written.exists()
+        header = written.read_text().splitlines()[0]
+        assert header == "t,line1,line2"
+        captured = capsys.readouterr()
+        assert "wrote" in captured.out
+
+    def test_fig9_ascii_plot_output(self, capsys):
+        exit_code = main(["fig9", "--points", "5"])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "Figure 9" in captured.out

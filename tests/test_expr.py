@@ -1,0 +1,102 @@
+"""Tests for the expression language (nodes and evaluation)."""
+
+import pytest
+
+from repro.expr import BinaryOp, Const, Environment, Ite, UnaryOp, Var
+from repro.expr.environment import UnknownVariableError
+
+
+class TestEvaluation:
+    def test_constants(self):
+        assert Const(3).evaluate({}) == 3
+        assert Const(True).evaluate({}) is True
+
+    def test_variables(self):
+        assert Var("x").evaluate({"x": 7}) == 7
+
+    def test_unknown_variable_raises(self):
+        with pytest.raises(UnknownVariableError):
+            Var("missing").evaluate(Environment({"x": 1}))
+
+    def test_arithmetic(self):
+        expression = (Var("a") + Const(2)) * Var("b") - Const(1)
+        assert expression.evaluate({"a": 3, "b": 4}) == 19
+
+    def test_division(self):
+        assert (Var("a") / Const(4)).evaluate({"a": 10}) == 2.5
+
+    def test_unary_minus(self):
+        assert (-Var("a")).evaluate({"a": 5}) == -5
+
+    def test_comparisons(self):
+        env = {"x": 3, "y": 5}
+        assert (Var("x") < Var("y")).evaluate(env) is True
+        assert (Var("x") >= Var("y")).evaluate(env) is False
+        assert Var("x").eq(3).evaluate(env) is True
+        assert Var("x").ne(3).evaluate(env) is False
+
+    def test_boolean_operators(self):
+        env = {"p": True, "q": False}
+        assert (Var("p") & Var("q")).evaluate(env) is False
+        assert (Var("p") | Var("q")).evaluate(env) is True
+        assert (~Var("q")).evaluate(env) is True
+        assert Var("q").implies(Var("p")).evaluate(env) is True
+
+    def test_ite(self):
+        expression = Ite(Var("flag"), Const(1), Const(2))
+        assert expression.evaluate({"flag": True}) == 1
+        assert expression.evaluate({"flag": False}) == 2
+
+    def test_min_max(self):
+        assert BinaryOp("min", Var("a"), Var("b")).evaluate({"a": 3, "b": 7}) == 3
+        assert BinaryOp("max", Var("a"), Var("b")).evaluate({"a": 3, "b": 7}) == 7
+
+    def test_boolean_guard_on_number_raises(self):
+        with pytest.raises(TypeError):
+            (Var("x") & Const(True)).evaluate({"x": 5})
+
+
+class TestStructure:
+    def test_variables_collected(self):
+        expression = (Var("a") + Var("b")) * Const(2) & Const(True) | Var("c")
+        assert expression.variables() == {"a", "b", "c"}
+
+    def test_substitute(self):
+        expression = Var("a") + Var("b")
+        substituted = expression.substitute({"a": Const(10)})
+        assert substituted.evaluate({"b": 5}) == 15
+
+    def test_unknown_operator_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryOp("^", Const(1), Const(2))
+        with pytest.raises(ValueError):
+            UnaryOp("~", Const(1))
+
+    def test_str_round_trips_through_parser(self):
+        from repro.expr import parse_expression
+
+        expression = Ite(Var("x") >= Const(2), Var("y") + Const(1), Const(0))
+        reparsed = parse_expression(str(expression))
+        for x in (0, 2, 5):
+            for y in (1, 7):
+                env = {"x": x, "y": y}
+                assert reparsed.evaluate(env) == expression.evaluate(env)
+
+    def test_literal_coercion_in_operators(self):
+        assert (Var("a") + 1).evaluate({"a": 2}) == 3
+        assert (2 * Var("a")).evaluate({"a": 4}) == 8
+
+
+class TestEnvironment:
+    def test_layering(self):
+        outer = Environment({"x": 1, "y": 2})
+        inner = outer.child({"y": 3})
+        assert inner["x"] == 1
+        assert inner["y"] == 3
+        assert set(inner) == {"x", "y"}
+
+    def test_with_updates_is_flat_copy(self):
+        env = Environment({"x": 1})
+        updated = env.with_updates({"x": 2, "z": 3})
+        assert env["x"] == 1
+        assert updated["x"] == 2 and updated["z"] == 3

@@ -1,0 +1,155 @@
+"""Tests for fault trees, service trees and their quantitative gates."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arcade import And, BasicEvent, FaultTree, KOfN, Or
+from repro.arcade.components import ArcadeModelError
+from repro.arcade.fault_tree import (
+    AverageService,
+    CappedFractionService,
+    ComponentService,
+    MinService,
+)
+
+
+@pytest.fixture
+def line_like_tree() -> FaultTree:
+    """A Line-1-like fault tree: 3 softeners, 2 filters, 1 reservoir, 2+1 pumps."""
+    return FaultTree(
+        Or(
+            KOfN(1, [BasicEvent("st1"), BasicEvent("st2"), BasicEvent("st3")]),
+            KOfN(1, [BasicEvent("sf1"), BasicEvent("sf2")]),
+            BasicEvent("res"),
+            KOfN(2, [BasicEvent("p1"), BasicEvent("p2"), BasicEvent("p3")]),
+        )
+    )
+
+
+ALL = {"st1", "st2", "st3", "sf1", "sf2", "res", "p1", "p2", "p3"}
+
+
+class TestFaultTreeEvaluation:
+    def test_empty_failure_set_is_operational(self, line_like_tree):
+        assert line_like_tree.is_operational([])
+
+    def test_single_softener_failure_brings_the_line_down(self, line_like_tree):
+        assert line_like_tree.is_down(["st2"])
+
+    def test_one_pump_failure_is_tolerated(self, line_like_tree):
+        assert line_like_tree.is_operational(["p1"])
+        assert line_like_tree.is_down(["p1", "p3"])
+
+    def test_and_gate(self):
+        tree = FaultTree(And(BasicEvent("a"), BasicEvent("b")))
+        assert tree.is_operational(["a"])
+        assert tree.is_down(["a", "b"])
+
+    def test_string_children_are_accepted(self):
+        tree = FaultTree(Or("a", "b"))
+        assert tree.is_down(["b"])
+        assert tree.components() == {"a", "b"}
+
+    def test_k_of_n_bounds(self):
+        with pytest.raises(ArcadeModelError):
+            KOfN(0, [BasicEvent("a")])
+        with pytest.raises(ArcadeModelError):
+            KOfN(3, [BasicEvent("a"), BasicEvent("b")])
+
+    def test_components_listing(self, line_like_tree):
+        assert line_like_tree.components() == ALL
+
+
+class TestServiceTree:
+    def test_dualisation_gates(self, line_like_tree):
+        service = line_like_tree.to_service_tree()
+        root = service.root
+        assert isinstance(root, MinService)
+        kinds = {type(child) for child in root.children}
+        assert CappedFractionService in kinds and ComponentService in kinds
+
+    def test_full_service_when_everything_up(self, line_like_tree):
+        service = line_like_tree.to_service_tree()
+        assert service.service_level(ALL) == 1
+
+    def test_no_service_without_reservoir(self, line_like_tree):
+        service = line_like_tree.to_service_tree()
+        assert service.service_level(ALL - {"res"}) == 0
+        assert not service.delivers_service(ALL - {"res"})
+
+    def test_degraded_service_levels(self, line_like_tree):
+        service = line_like_tree.to_service_tree()
+        assert service.service_level(ALL - {"st1"}) == Fraction(2, 3)
+        assert service.service_level(ALL - {"sf1"}) == Fraction(1, 2)
+        assert service.service_level(ALL - {"p1"}) == 1  # the spare pump absorbs it
+        assert service.service_level(ALL - {"p1", "p2"}) == Fraction(1, 2)
+        assert service.service_level(ALL - {"st1", "sf1"}) == Fraction(1, 2)
+
+    def test_attainable_levels_and_intervals(self, line_like_tree):
+        service = line_like_tree.to_service_tree()
+        levels = service.attainable_levels()
+        assert levels[0] == 0 and levels[-1] == 1
+        assert Fraction(1, 3) in levels and Fraction(1, 2) in levels and Fraction(2, 3) in levels
+        intervals = service.service_intervals()
+        assert intervals[0] == (Fraction(1, 3), Fraction(1, 2))
+        assert intervals[-1] == (Fraction(1), Fraction(1))
+
+    def test_and_gate_becomes_average(self):
+        tree = FaultTree(And(BasicEvent("a"), BasicEvent("b")))
+        service = tree.to_service_tree()
+        assert isinstance(service.root, AverageService)
+        assert service.service_level({"a"}) == Fraction(1, 2)
+
+    def test_quantitative_or_average_semantics(self):
+        tree = FaultTree(KOfN(1, [BasicEvent(name) for name in ("x", "y", "z", "w")]))
+        service = tree.to_service_tree()
+        assert service.service_level({"x", "y"}) == Fraction(1, 2)
+
+    def test_spare_gate_caps_at_one(self):
+        # 4 pumps, 3 required: one failure leaves full service.
+        tree = FaultTree(KOfN(2, [BasicEvent(f"p{i}") for i in range(4)]))
+        service = tree.to_service_tree()
+        assert service.service_level({"p0", "p1", "p2", "p3"}) == 1
+        assert service.service_level({"p0", "p1", "p2"}) == 1
+        assert service.service_level({"p0", "p1"}) == Fraction(2, 3)
+        # Spares do not add service intervals beyond 1/3, 2/3, 1.
+        assert set(service.attainable_levels()) == {
+            Fraction(0), Fraction(1, 3), Fraction(2, 3), Fraction(1)
+        }
+
+
+# ---------------------------------------------------------------------------
+# property-based consistency between the fault tree and its service tree
+# ---------------------------------------------------------------------------
+@given(failed=st.sets(st.sampled_from(sorted(ALL))))
+@settings(max_examples=300, deadline=None)
+def test_service_zero_iff_total_failure_tree(failed):
+    """The derived service tree is positive iff the dual 'no service' tree is not triggered.
+
+    For this tree shape: service is zero exactly when some phase has lost all
+    its members (or the reservoir is down), and full service holds exactly
+    when the fault tree is operational.
+    """
+    tree = FaultTree(
+        Or(
+            KOfN(1, [BasicEvent("st1"), BasicEvent("st2"), BasicEvent("st3")]),
+            KOfN(1, [BasicEvent("sf1"), BasicEvent("sf2")]),
+            BasicEvent("res"),
+            KOfN(2, [BasicEvent("p1"), BasicEvent("p2"), BasicEvent("p3")]),
+        )
+    )
+    service = tree.to_service_tree()
+    up = ALL - failed
+    level = service.service_level(up)
+    assert 0 <= level <= 1
+    # Full service <=> fault tree operational.
+    assert (level == 1) == tree.is_operational(failed)
+    # Zero service <=> some phase completely lost.
+    softeners_gone = {"st1", "st2", "st3"} <= failed
+    filters_gone = {"sf1", "sf2"} <= failed
+    reservoir_gone = "res" in failed
+    pumps_gone = {"p1", "p2", "p3"} <= failed
+    assert (level == 0) == (softeners_gone or filters_gone or reservoir_gone or pumps_gone)

@@ -1,0 +1,157 @@
+"""Tests for I/O-IMCs: composition, hiding, maximal progress, CTMC conversion."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc import steady_state_distribution
+from repro.iomc import (
+    IOIMC,
+    IOIMCError,
+    Signature,
+    apply_maximal_progress,
+    compose,
+    compose_many,
+    hide,
+    to_ctmc,
+)
+
+
+def component(name: str, fail_rate: float) -> IOIMC:
+    """A failing component that announces its failure and waits for repair."""
+    model = IOIMC(
+        name=name,
+        signature=Signature(inputs={f"repaired_{name}"}, outputs={f"failed_{name}"}),
+    )
+    model.add_state("up", description={name: "up"}, initial=True)
+    model.add_state("announcing", description={name: "announcing"})
+    model.add_state("down", description={name: "down"})
+    model.add_markovian("up", fail_rate, "announcing")
+    model.add_interactive("announcing", f"failed_{name}", "down")
+    model.add_interactive("down", f"repaired_{name}", "up")
+    return model
+
+
+def repairer(name: str, repair_rate: float) -> IOIMC:
+    """A single-component repair unit."""
+    model = IOIMC(
+        name=f"repair_{name}",
+        signature=Signature(inputs={f"failed_{name}"}, outputs={f"repaired_{name}"}),
+    )
+    model.add_state("idle", initial=True)
+    model.add_state("busy")
+    model.add_state("announcing")
+    model.add_interactive("idle", f"failed_{name}", "busy")
+    model.add_markovian("busy", repair_rate, "announcing")
+    model.add_interactive("announcing", f"repaired_{name}", "idle")
+    return model
+
+
+class TestSignature:
+    def test_classification(self):
+        signature = Signature(inputs={"a"}, outputs={"b"}, internals={"c"})
+        assert signature.classify("a") == "input"
+        assert signature.decorate("b") == "b!"
+        assert signature.decorate("c") == "c;"
+        with pytest.raises(IOIMCError):
+            signature.classify("unknown")
+
+    def test_overlapping_classes_rejected(self):
+        with pytest.raises(IOIMCError):
+            Signature(inputs={"a"}, outputs={"a"})
+
+
+class TestBasicStructure:
+    def test_undeclared_action_rejected(self):
+        model = IOIMC("m", Signature(outputs={"go"}))
+        with pytest.raises(IOIMCError):
+            model.add_interactive("s", "stop", "t")
+
+    def test_nonpositive_rate_rejected(self):
+        model = IOIMC("m", Signature())
+        with pytest.raises(IOIMCError):
+            model.add_markovian("s", 0.0, "t")
+
+    def test_input_default_self_loop(self):
+        model = component("c", 0.1)
+        assert model.successors("up", "repaired_c") == ["up"]
+
+    def test_vanishing_detection(self):
+        model = component("c", 0.1)
+        assert model.is_vanishing("announcing")
+        assert not model.is_vanishing("up")
+
+
+class TestComposition:
+    def test_component_with_repairer_is_birth_death(self):
+        lam, mu = 0.1, 2.0
+        composed = compose(component("c", lam), repairer("c", mu))
+        closed = hide(composed)
+        chain = to_ctmc(closed, label_fn=lambda d: ["up"] if d[0] == {"c": "up"} else ["down"])
+        assert chain.num_states == 2
+        distribution = steady_state_distribution(chain)
+        assert distribution[chain.label_mask("up")].sum() == pytest.approx(mu / (lam + mu), abs=1e-10)
+
+    def test_duplicate_outputs_rejected(self):
+        with pytest.raises(IOIMCError):
+            compose(component("c", 0.1), component("c", 0.2))
+
+    def test_three_way_composition(self):
+        parts = [component("a", 0.1), repairer("a", 1.0), component("b", 0.2)]
+        composed = compose_many(parts)
+        # "b" is never repaired: its failure output remains in the composed signature.
+        assert "failed_b" in composed.signature.outputs
+        assert "failed_a" in composed.signature.outputs
+        assert "repaired_a" in composed.signature.outputs
+
+    def test_maximal_progress_removes_rates_from_vanishing_states(self):
+        composed = hide(compose(component("c", 0.5), repairer("c", 1.0)))
+        reduced = apply_maximal_progress(composed)
+        urgent = composed.signature.outputs | composed.signature.internals
+        for transition in reduced.markovian_transitions:
+            has_urgent = any(
+                t.action in urgent
+                for t in reduced.interactive_from(transition.source)
+            )
+            assert not has_urgent
+
+    def test_hide_unknown_action_rejected(self):
+        with pytest.raises(IOIMCError):
+            hide(component("c", 0.1), ["not_an_output"])
+
+    def test_hide_all_makes_outputs_internal(self):
+        hidden = hide(component("c", 0.1))
+        assert not hidden.signature.outputs
+        assert "failed_c" in hidden.signature.internals
+
+
+class TestConversion:
+    def test_nondeterministic_internal_behaviour_rejected(self):
+        model = IOIMC("nd", Signature(internals={"tau"}))
+        model.add_state("s", initial=True)
+        model.add_state("a")
+        model.add_state("b")
+        model.add_interactive("s", "tau", "a")
+        model.add_interactive("s", "tau", "b")
+        model.add_markovian("a", 1.0, "s")
+        with pytest.raises(IOIMCError):
+            to_ctmc(model)
+
+    def test_internal_chains_are_collapsed(self):
+        model = IOIMC("chain", Signature(internals={"tau"}))
+        for state in ("s", "m1", "m2", "t"):
+            model.add_state(state, initial=(state == "s"))
+        model.add_markovian("s", 2.0, "m1")
+        model.add_interactive("m1", "tau", "m2")
+        model.add_interactive("m2", "tau", "t")
+        model.add_markovian("t", 1.0, "s")
+        chain = to_ctmc(model)
+        assert chain.num_states == 2
+
+    def test_divergent_internal_loop_rejected(self):
+        model = IOIMC("loop", Signature(internals={"tau"}))
+        model.add_state("s", initial=True)
+        model.add_state("a")
+        model.add_interactive("a", "tau", "a")
+        model.add_markovian("s", 1.0, "a")
+        with pytest.raises(IOIMCError):
+            to_ctmc(model)

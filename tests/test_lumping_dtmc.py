@@ -1,0 +1,127 @@
+"""Tests for CTMC lumping and the DTMC helpers."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc import (
+    CTMC,
+    DTMC,
+    embedded_dtmc,
+    lump_ctmc,
+    lumping_partition,
+    steady_state_distribution,
+    time_bounded_reachability,
+    uniformized_dtmc,
+)
+from repro.ctmc.dtmc import unbounded_reachability
+from repro.ctmc.lumping import count_blocks
+
+
+def symmetric_two_component_chain() -> CTMC:
+    """Two identical components with dedicated repair; states indexed by (up_a, up_b)."""
+    lam, mu = 0.1, 1.0
+    # state order: (up,up)=0, (up,down)=1, (down,up)=2, (down,down)=3
+    rates = np.zeros((4, 4))
+    rates[0, 1] = lam
+    rates[0, 2] = lam
+    rates[1, 0] = mu
+    rates[1, 3] = lam
+    rates[2, 0] = mu
+    rates[2, 3] = lam
+    rates[3, 1] = mu
+    rates[3, 2] = mu
+    return CTMC(
+        rates,
+        {0: 1.0},
+        labels={"all_up": [0], "some_down": [1, 2, 3], "all_down": [3]},
+    )
+
+
+class TestLumping:
+    def test_symmetric_states_are_merged(self):
+        chain = symmetric_two_component_chain()
+        partition = lumping_partition(chain)
+        # States 1 and 2 are exchangeable: same labels, same aggregated rates.
+        assert partition[1] == partition[2]
+        assert count_blocks(partition) == 3
+
+    def test_quotient_preserves_steady_state_of_labels(self):
+        chain = symmetric_two_component_chain()
+        quotient, partition = lump_ctmc(chain)
+        assert quotient.num_states == 3
+        full = steady_state_distribution(chain)
+        small = steady_state_distribution(quotient)
+        for label in ("all_up", "some_down", "all_down"):
+            assert small[quotient.label_mask(label)].sum() == pytest.approx(
+                full[chain.label_mask(label)].sum(), abs=1e-10
+            )
+
+    def test_quotient_preserves_transient_reachability(self):
+        chain = symmetric_two_component_chain()
+        quotient, _ = lump_ctmc(chain)
+        for t in (0.5, 5.0, 50.0):
+            assert time_bounded_reachability(quotient, "all_down", t) == pytest.approx(
+                time_bounded_reachability(chain, "all_down", t), abs=1e-9
+            )
+
+    def test_distinct_labels_prevent_merging(self):
+        chain = symmetric_two_component_chain()
+        chain.add_label("a_down", [2, 3])
+        partition = lumping_partition(chain)
+        assert partition[1] != partition[2]
+
+    def test_respect_initial_keeps_initial_state_separate(self):
+        chain = symmetric_two_component_chain()
+        moved = chain.with_initial_distribution({1: 1.0})
+        partition = lumping_partition(moved, respect_initial=True)
+        assert partition[1] != partition[2]
+
+    def test_lumping_is_idempotent(self):
+        chain = symmetric_two_component_chain()
+        quotient, _ = lump_ctmc(chain)
+        quotient2, _ = lump_ctmc(quotient)
+        assert quotient2.num_states == quotient.num_states
+
+
+class TestDTMC:
+    def test_row_sums_validated(self):
+        with pytest.raises(Exception):
+            DTMC(np.array([[0.5, 0.7], [0.0, 1.0]]))
+
+    def test_step(self):
+        dtmc = DTMC(np.array([[0.0, 1.0], [1.0, 0.0]]), np.array([1.0, 0.0]))
+        after_one = dtmc.step(dtmc.initial_distribution)
+        assert after_one == pytest.approx([0.0, 1.0])
+        after_two = dtmc.step(dtmc.initial_distribution, steps=2)
+        assert after_two == pytest.approx([1.0, 0.0])
+
+    def test_reachability_probabilities(self):
+        # Gambler-style chain: from state 1, reach 2 before 0 with prob 0.5.
+        matrix = np.array(
+            [
+                [1.0, 0.0, 0.0],
+                [0.5, 0.0, 0.5],
+                [0.0, 0.0, 1.0],
+            ]
+        )
+        dtmc = DTMC(matrix)
+        probabilities = dtmc.reachability_probabilities([2])
+        assert probabilities[1] == pytest.approx(0.5)
+        assert probabilities[0] == pytest.approx(0.0)
+
+    def test_embedded_dtmc_of_ctmc(self, absorbing_chain):
+        jump = embedded_dtmc(absorbing_chain)
+        matrix = jump.transition_matrix.toarray()
+        assert matrix[0] == pytest.approx([0.0, 1.0, 0.0])
+        assert matrix[2] == pytest.approx([0.0, 0.0, 1.0])  # absorbing self-loop
+
+    def test_uniformized_dtmc(self, two_state_chain):
+        dtmc, rate = uniformized_dtmc(two_state_chain)
+        assert rate == pytest.approx(0.5)
+        assert np.asarray(dtmc.transition_matrix.sum(axis=1)).ravel() == pytest.approx([1.0, 1.0])
+
+    def test_unbounded_reachability_on_ctmc(self, absorbing_chain):
+        probabilities = unbounded_reachability(absorbing_chain, "failed")
+        assert probabilities == pytest.approx([1.0, 1.0, 1.0])
+        restricted = unbounded_reachability(absorbing_chain, "failed", safe=[0])
+        assert restricted[0] == pytest.approx(0.0)

@@ -1,0 +1,169 @@
+"""Tests for the user-facing measures (availability, reliability, survivability, costs)."""
+
+from fractions import Fraction
+
+import numpy as np
+import pytest
+
+from repro.arcade import build_state_space
+from repro.measures import (
+    accumulated_cost,
+    accumulated_cost_curve,
+    combined_availability,
+    instantaneous_cost,
+    instantaneous_cost_curve,
+    reliability,
+    reliability_curve,
+    service_intervals,
+    service_levels,
+    states_with_service_at_least,
+    steady_state_availability,
+    steady_state_unavailability,
+    survivability,
+    survivability_curve,
+    survivability_curves_by_interval,
+    unreliability,
+)
+from repro.measures.service import service_distribution
+from helpers import make_mini_model
+
+
+class TestAvailability:
+    def test_dedicated_availability_is_product_of_components(self):
+        model = make_mini_model("dedicated")
+        expected = 1.0
+        for component in model.components:
+            expected *= component.availability
+        assert steady_state_availability(model) == pytest.approx(expected, abs=1e-10)
+        assert steady_state_unavailability(model) == pytest.approx(1.0 - expected, abs=1e-10)
+
+    def test_single_crew_is_worse_than_dedicated(self):
+        dedicated = steady_state_availability(make_mini_model("dedicated"))
+        single = steady_state_availability(make_mini_model("fastest_repair_first", 1))
+        double = steady_state_availability(make_mini_model("fastest_repair_first", 2))
+        assert single < double <= dedicated + 1e-12
+
+    def test_accepts_prebuilt_state_space(self, mini_space):
+        assert steady_state_availability(mini_space) == pytest.approx(
+            steady_state_availability(mini_space.model)
+        )
+
+    def test_combined_availability(self):
+        assert combined_availability([0.9]) == pytest.approx(0.9)
+        assert combined_availability([0.7, 0.8]) == pytest.approx(0.94)
+        assert combined_availability([0.5, 0.5, 0.5]) == pytest.approx(0.875)
+        with pytest.raises(ValueError):
+            combined_availability([])
+        with pytest.raises(ValueError):
+            combined_availability([1.5])
+
+
+class TestReliability:
+    def test_matches_series_system_formula(self, mini_model):
+        # Without repair, a series system survives iff no component fails.
+        total_rate = sum(component.failure_rate for component in mini_model.components)
+        for t in (10.0, 100.0, 500.0):
+            assert reliability(mini_model, t) == pytest.approx(np.exp(-total_rate * t), abs=1e-9)
+            assert unreliability(mini_model, t) == pytest.approx(
+                1.0 - np.exp(-total_rate * t), abs=1e-9
+            )
+
+    def test_strategy_does_not_matter(self):
+        # Reliability ignores repair, so all strategies coincide (paper, Section 5).
+        values = {
+            strategy: reliability(make_mini_model(strategy), 100.0)
+            for strategy in ("dedicated", "fcfs", "fastest_repair_first")
+        }
+        assert len({round(value, 12) for value in values.values()}) == 1
+
+    def test_curve_shape(self, mini_model):
+        times, values = reliability_curve(mini_model, 500.0, points=26)
+        assert times.shape == values.shape == (26,)
+        assert values[0] == pytest.approx(1.0)
+        assert np.all(np.diff(values) <= 1e-12)
+
+    def test_invalid_grid(self, mini_model):
+        with pytest.raises(ValueError):
+            reliability_curve(mini_model, 0.0)
+        with pytest.raises(ValueError):
+            reliability_curve(mini_model, 10.0, points=1)
+
+
+class TestServiceMeasures:
+    def test_levels_and_intervals(self, mini_model):
+        levels = service_levels(mini_model)
+        assert levels[0] == 0 and levels[-1] == 1
+        intervals = service_intervals(mini_model)
+        assert intervals[-1] == (Fraction(1), Fraction(1))
+
+    def test_states_with_service_threshold(self, mini_space):
+        # The mini model is a pure series system, so its only service levels
+        # are 0 and 1: exactly one state delivers full service and every
+        # state trivially delivers "at least zero" service.
+        assert len(states_with_service_at_least(mini_space, 1)) == 1
+        assert len(states_with_service_at_least(mini_space, 0)) == mini_space.num_states
+        assert len(states_with_service_at_least(mini_space, Fraction(1, 3))) == 1
+
+    def test_service_distribution_sums_to_one(self, mini_space):
+        distribution = service_distribution(mini_space)
+        assert sum(distribution.values()) == pytest.approx(1.0, abs=1e-9)
+        assert distribution[Fraction(1)] > 0.85  # mostly fully operational
+
+
+class TestSurvivability:
+    def test_recovery_probability_increases_with_time(self, mini_space):
+        values = survivability(mini_space, "everything", 1.0, [0.0, 1.0, 10.0, 100.0])
+        assert values[0] == 0.0
+        assert np.all(np.diff(values) >= -1e-12)
+        assert values[-1] > 0.5
+
+    def test_single_crew_slower_than_dedicated(self):
+        time = 5.0
+        slow = survivability(make_mini_model("fastest_repair_first", 1), "everything", 1.0, time)
+        fast = survivability(make_mini_model("dedicated"), "everything", 1.0, time)
+        assert fast > slow
+
+    def test_lower_service_level_recovers_earlier(self, mini_space):
+        time = 2.0
+        partial = survivability(mini_space, "everything", Fraction(1, 3), time)
+        full = survivability(mini_space, "everything", 1.0, time)
+        assert partial >= full
+
+    def test_requires_repairable_model(self, mini_model):
+        space = build_state_space(mini_model, with_repairs=False)
+        with pytest.raises(ValueError):
+            survivability(space, "everything", 1.0, 1.0)
+
+    def test_curve_and_per_interval_curves(self, mini_space):
+        times, values = survivability_curve(mini_space, "everything", 1.0, 10.0, points=11)
+        assert times.shape == values.shape == (11,)
+        curves = survivability_curves_by_interval(mini_space, "everything", 10.0, points=6)
+        assert len(curves) == len(service_intervals(mini_space))
+        for (_low, _high), (_times, probabilities) in curves.items():
+            assert probabilities[0] == 0.0
+
+
+class TestCosts:
+    def test_normal_operation_cost_rate(self, mini_space):
+        # At t=0 everything is up: the single crew idles at 1/h.
+        assert instantaneous_cost(mini_space, 0.0) == pytest.approx(1.0)
+
+    def test_disaster_cost_rate_starts_high(self, mini_space):
+        assert instantaneous_cost(mini_space, 0.0, "everything") == pytest.approx(9.0)
+
+    def test_accumulated_cost_monotone(self, mini_space):
+        times, values = accumulated_cost_curve(mini_space, 20.0, "everything", points=11)
+        assert values[0] == 0.0
+        assert np.all(np.diff(values) >= -1e-9)
+        assert accumulated_cost(mini_space, 20.0, "everything") == pytest.approx(values[-1], rel=1e-9)
+
+    def test_accumulated_cost_bounded_by_worst_case(self, mini_space):
+        horizon = 10.0
+        worst_rate = 9.0  # all three components failed, crew busy
+        assert accumulated_cost(mini_space, horizon, "everything") <= worst_rate * horizon
+
+    def test_accumulated_cost_after_disaster_exceeds_normal_operation(self, mini_space):
+        horizon = 5.0
+        assert accumulated_cost(mini_space, horizon, "everything") > accumulated_cost(
+            mini_space, horizon
+        )

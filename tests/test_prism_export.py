@@ -1,0 +1,84 @@
+"""Tests for the PRISM source exporter."""
+
+from repro.csl import parse_formula
+from repro.expr import Const, Var
+from repro.modules import (
+    Command,
+    Module,
+    ModulesFile,
+    RewardStructureDefinition,
+    VariableDeclaration,
+    export_prism_model,
+    export_prism_properties,
+)
+
+
+def small_system() -> ModulesFile:
+    system = ModulesFile()
+    component = Module("pump")
+    component.add_variable(VariableDeclaration.boolean("pump_up", True))
+    component.add_variable(VariableDeclaration.integer("mode", 0, 2, 1))
+    component.add_command(
+        Command.simple("fail", Var("pump_up"), 0.002, {"pump_up": Const(False)})
+    )
+    component.add_command(
+        Command.simple("", ~Var("pump_up"), 1.0, {"pump_up": Const(True)})
+    )
+    system.add_module(component)
+    system.add_label("down", ~Var("pump_up"))
+    system.set_constant("N", 3)
+    rewards = RewardStructureDefinition("cost")
+    rewards.add_state_reward(~Var("pump_up"), 3.0)
+    rewards.add_transition_reward("fail", Const(True), 10.0)
+    system.add_rewards(rewards)
+    return system
+
+
+class TestModelExport:
+    def test_contains_model_type_and_module(self):
+        text = export_prism_model(small_system())
+        assert text.startswith("ctmc")
+        assert "module pump" in text and "endmodule" in text
+
+    def test_variable_declarations(self):
+        text = export_prism_model(small_system())
+        assert "pump_up : bool init true;" in text
+        assert "mode : [0..2] init 1;" in text
+
+    def test_commands_labels_constants_rewards(self):
+        text = export_prism_model(small_system())
+        assert "[fail] pump_up -> 0.002 : (pump_up'=false);" in text
+        assert 'label "down" = !pump_up;' in text
+        assert "const int N = 3;" in text
+        assert 'rewards "cost"' in text and "endrewards" in text
+        assert "[fail] true : 10.0;" in text
+
+    def test_description_is_emitted_as_comment(self):
+        text = export_prism_model(small_system(), description="line one\nline two")
+        assert text.splitlines()[0] == "// line one"
+        assert text.splitlines()[1] == "// line two"
+
+    def test_initial_override_changes_init_value(self):
+        system = small_system().with_initial_state({"pump_up": False})
+        text = export_prism_model(system)
+        assert "pump_up : bool init false;" in text
+
+
+class TestPropertiesExport:
+    def test_formula_objects_and_strings(self):
+        formulas = [
+            parse_formula('P=? [ true U<=100 "down" ]'),
+            parse_formula('S=? [ "down" ]'),
+            'R{"cost"}=? [ C<=10 ]',
+        ]
+        text = export_prism_properties(formulas)
+        lines = text.strip().splitlines()
+        assert lines[0] == 'P=? [ true U<=100.0 "down" ]'
+        assert lines[1] == 'S=? [ "down" ]'
+        assert lines[2] == 'R{"cost"}=? [ C<=10 ]'
+
+    def test_exported_properties_reparse(self):
+        formulas = [parse_formula('P=? [ "down" U<=5 "down" ]')]
+        text = export_prism_properties(formulas)
+        reparsed = parse_formula(text.strip())
+        assert str(reparsed) == str(formulas[0])

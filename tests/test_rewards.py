@@ -1,0 +1,96 @@
+"""Tests for Markov-reward measures (instantaneous, cumulative, steady-state)."""
+
+import numpy as np
+import pytest
+
+from repro.ctmc import (
+    CTMC,
+    MarkovRewardModel,
+    RewardStructure,
+    cumulative_reward,
+    instantaneous_reward,
+    steady_state_reward,
+)
+from repro.ctmc.ctmc import CTMCError
+from repro.ctmc.rewards import cumulative_reward_curve, instantaneous_reward_curve
+
+
+@pytest.fixture
+def reward_model(two_state_chain) -> MarkovRewardModel:
+    return MarkovRewardModel(
+        two_state_chain, RewardStructure("cost", np.array([0.0, 3.0]))
+    )
+
+
+class TestInstantaneous:
+    def test_at_time_zero_equals_initial_reward(self, reward_model):
+        assert instantaneous_reward(reward_model, 0.0) == pytest.approx(0.0)
+
+    def test_converges_to_steady_state_reward(self, reward_model):
+        lam, mu = 0.01, 0.5
+        limit = 3.0 * lam / (lam + mu)
+        assert instantaneous_reward(reward_model, 5000.0) == pytest.approx(limit, abs=1e-8)
+        assert steady_state_reward(reward_model) == pytest.approx(limit, abs=1e-10)
+
+    def test_curve_is_monotone_for_this_chain(self, reward_model):
+        times = np.linspace(0.0, 100.0, 21)
+        values = instantaneous_reward_curve(reward_model, times)
+        assert values.shape == (21,)
+        assert np.all(np.diff(values) >= -1e-12)
+
+    def test_tuple_form_is_accepted(self, two_state_chain):
+        value = instantaneous_reward((two_state_chain, np.array([1.0, 1.0])), 10.0)
+        assert value == pytest.approx(1.0)
+
+
+class TestCumulative:
+    def test_zero_horizon(self, reward_model):
+        assert cumulative_reward(reward_model, 0.0) == 0.0
+
+    def test_negative_horizon_rejected(self, reward_model):
+        with pytest.raises(CTMCError):
+            cumulative_reward(reward_model, -1.0)
+
+    def test_constant_reward_accumulates_linearly(self, two_state_chain):
+        model = MarkovRewardModel(two_state_chain, RewardStructure("unit", np.ones(2)))
+        for horizon in (0.5, 3.0, 42.0):
+            assert cumulative_reward(model, horizon) == pytest.approx(horizon, rel=1e-9)
+
+    def test_matches_integral_of_instantaneous(self, reward_model):
+        # C(t) = ∫ I(u) du: compare against a fine trapezoidal integration.
+        horizon = 50.0
+        times = np.linspace(0.0, horizon, 2001)
+        instantaneous = instantaneous_reward_curve(reward_model, times)
+        integral = np.trapezoid(instantaneous, times)
+        assert cumulative_reward(reward_model, horizon) == pytest.approx(integral, rel=1e-4)
+
+    def test_long_run_growth_rate(self, reward_model):
+        # For large t, C(t) ≈ t * steady-state reward rate.
+        rate = steady_state_reward(reward_model)
+        horizon = 20_000.0
+        assert cumulative_reward(reward_model, horizon) / horizon == pytest.approx(
+            rate, rel=1e-2
+        )
+
+    def test_curve_is_nondecreasing(self, reward_model):
+        values = cumulative_reward_curve(reward_model, np.linspace(0.0, 20.0, 11))
+        assert np.all(np.diff(values) >= -1e-12)
+
+    def test_absorbing_chain_reward_saturates(self, absorbing_chain):
+        # Reward 1/h only in the initial state; expected total = E[time to leave] = 1/0.02.
+        model = MarkovRewardModel(
+            absorbing_chain, RewardStructure("up_time", np.array([1.0, 0.0, 0.0]))
+        )
+        assert cumulative_reward(model, 100_000.0) == pytest.approx(50.0, rel=1e-3)
+
+    def test_no_transition_chain(self):
+        chain = CTMC(np.zeros((2, 2)), {0: 1.0})
+        model = MarkovRewardModel(chain, RewardStructure("cost", np.array([2.0, 0.0])))
+        assert cumulative_reward(model, 10.0) == pytest.approx(20.0)
+
+    def test_initial_distribution_override(self, reward_model):
+        from_down = cumulative_reward(
+            reward_model, 1.0, initial_distribution=np.array([0.0, 1.0])
+        )
+        from_up = cumulative_reward(reward_model, 1.0)
+        assert from_down > from_up

@@ -1,0 +1,108 @@
+"""Tests for steady-state analysis and BSCC decomposition."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ctmc import (
+    CTMC,
+    bottom_strongly_connected_components,
+    steady_state_distribution,
+    steady_state_probability,
+)
+
+
+class TestBSCC:
+    def test_irreducible_chain_is_one_bscc(self, two_state_chain):
+        bsccs = bottom_strongly_connected_components(two_state_chain)
+        assert len(bsccs) == 1
+        assert list(bsccs[0]) == [0, 1]
+
+    def test_absorbing_state_is_its_own_bscc(self, absorbing_chain):
+        bsccs = bottom_strongly_connected_components(absorbing_chain)
+        assert len(bsccs) == 1
+        assert list(bsccs[0]) == [2]
+
+    def test_two_absorbing_states(self):
+        rates = np.array(
+            [
+                [0.0, 1.0, 3.0],
+                [0.0, 0.0, 0.0],
+                [0.0, 0.0, 0.0],
+            ]
+        )
+        chain = CTMC(rates, {0: 1.0})
+        bsccs = bottom_strongly_connected_components(chain)
+        assert [list(b) for b in bsccs] == [[1], [2]]
+
+
+class TestSteadyState:
+    def test_two_state_balance(self):
+        lam, mu = 0.02, 0.4
+        chain = CTMC(np.array([[0.0, lam], [mu, 0.0]]), {0: 1.0}, labels={"up": [0]})
+        distribution = steady_state_distribution(chain)
+        assert distribution[0] == pytest.approx(mu / (lam + mu), abs=1e-12)
+        assert steady_state_probability(chain, "up") == pytest.approx(mu / (lam + mu))
+
+    def test_three_state_cycle(self):
+        # A cycle with distinct rates: pi_i proportional to 1/rate_i.
+        rates = np.zeros((3, 3))
+        rates[0, 1], rates[1, 2], rates[2, 0] = 1.0, 2.0, 4.0
+        chain = CTMC(rates, {0: 1.0})
+        distribution = steady_state_distribution(chain)
+        expected = np.array([1.0, 0.5, 0.25])
+        expected /= expected.sum()
+        assert distribution == pytest.approx(expected, abs=1e-10)
+
+    def test_absorbing_chain_concentrates_in_absorbing_state(self, absorbing_chain):
+        distribution = steady_state_distribution(absorbing_chain)
+        assert distribution == pytest.approx([0.0, 0.0, 1.0], abs=1e-10)
+
+    def test_multiple_bsccs_weighted_by_reachability(self):
+        # From state 0, jump to absorbing state 1 w.p. 1/4 and state 2 w.p. 3/4.
+        rates = np.array(
+            [
+                [0.0, 1.0, 3.0],
+                [0.0, 0.0, 0.0],
+                [0.0, 0.0, 0.0],
+            ]
+        )
+        chain = CTMC(rates, {0: 1.0})
+        distribution = steady_state_distribution(chain)
+        assert distribution == pytest.approx([0.0, 0.25, 0.75], abs=1e-10)
+
+    def test_initial_distribution_matters_with_multiple_bsccs(self):
+        rates = np.array(
+            [
+                [0.0, 1.0, 3.0],
+                [0.0, 0.0, 0.0],
+                [0.0, 0.0, 0.0],
+            ]
+        )
+        chain = CTMC(rates, {0: 1.0})
+        from_state_1 = steady_state_distribution(chain, np.array([0.0, 1.0, 0.0]))
+        assert from_state_1 == pytest.approx([0.0, 1.0, 0.0])
+
+    def test_power_method_agrees_with_direct(self, mini_space):
+        chain = mini_space.chain
+        direct = steady_state_distribution(chain, method="direct")
+        power = steady_state_distribution(chain, method="power")
+        assert power == pytest.approx(direct, abs=1e-9)
+
+    def test_unknown_method_rejected(self, two_state_chain):
+        with pytest.raises(Exception):
+            steady_state_distribution(two_state_chain, method="banana")
+
+
+@given(
+    lam=st.floats(min_value=1e-3, max_value=5.0),
+    mu=st.floats(min_value=1e-3, max_value=5.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_birth_death_detailed_balance(lam, mu):
+    """Property: the 2-state steady state satisfies detailed balance."""
+    chain = CTMC(np.array([[0.0, lam], [mu, 0.0]]), {0: 1.0})
+    distribution = steady_state_distribution(chain)
+    assert distribution[0] * lam == pytest.approx(distribution[1] * mu, rel=1e-9)
+    assert distribution.sum() == pytest.approx(1.0)
