@@ -1,0 +1,199 @@
+"""Perf benchmark — single-pass uniformization engine vs per-point evaluation.
+
+Regenerates the time grids behind the survivability figures (Fig. 4, Line 1 /
+Fig. 8, Line 2) and the accumulated-cost figures (Fig. 7, Line 1 / Fig. 11,
+Line 2) through the shared uniformization engine, and compares them against a
+per-point baseline that restarts the vector-power recursion for every grid
+point — the pre-engine behaviour.  Both paths *measure* their sparse matvec
+counts (the engine via :data:`repro.ctmc.uniformization.ENGINE_STATS`, the
+baseline by counting the products it performs), so the reported reduction is
+observed, not estimated.
+
+Acceptance gate: on the 101-point Line 2 survivability curve the engine must
+perform at least 10x fewer matvecs than the per-point baseline while matching
+its values to <= 1e-9.
+"""
+
+from __future__ import annotations
+
+import time as time_module
+
+import numpy as np
+from bench_support import run_once
+
+from repro.arcade.repair import RepairStrategy
+from repro.casestudy.experiments import line_state_space
+from repro.casestudy.facility import (
+    DISASTER_1,
+    DISASTER_2,
+    LINE1,
+    LINE2,
+    StrategyConfiguration,
+)
+from repro.ctmc.foxglynn import fox_glynn
+from repro.ctmc.uniformization import ENGINE_STATS
+from repro.measures import accumulated_cost_curve, survivability
+
+EPSILON = 1e-10
+FRF2 = StrategyConfiguration(RepairStrategy.FASTEST_REPAIR_FIRST, 2)
+
+
+def _baseline_survivability(space, disaster, service_level, times):
+    """Per-point survivability exactly as the seed implemented it.
+
+    Returns ``(values, matvecs)`` with the matvec count incremented for every
+    sparse product actually performed.
+    """
+    target = space.states_with_service_at_least(service_level)
+    initial = space.initial_distribution_for_disaster(disaster)
+    target_mask = np.zeros(space.chain.num_states, dtype=bool)
+    target_mask[target] = True
+    transformed = space.chain.make_absorbing(target)
+    probabilities, q = transformed.uniformized_matrix()
+    transposed = probabilities.T.tocsr()
+    matvecs = 0
+    values = np.zeros(len(times))
+    for row, t in enumerate(times):
+        if t == 0.0 or transformed.max_exit_rate == 0.0:
+            distribution = initial
+        else:
+            weights = fox_glynn(q * float(t), EPSILON)
+            vector = initial.copy()
+            accumulator = np.zeros(space.chain.num_states)
+            for _ in range(weights.left):
+                vector = transposed @ vector
+                matvecs += 1
+            for k in range(weights.left, weights.right + 1):
+                accumulator += weights.weight(k) * vector
+                if k < weights.right:
+                    vector = transposed @ vector
+                    matvecs += 1
+            distribution = accumulator
+        values[row] = min(1.0, max(0.0, float(distribution[target_mask].sum())))
+    return values, matvecs
+
+
+def _baseline_accumulated_cost(space, disaster, times):
+    """Per-bound accumulated cost exactly as the seed implemented it."""
+    chain = space.chain
+    rewards = space.reward_model.reward_structure("cost").state_rewards
+    initial = space.initial_distribution_for_disaster(disaster)
+    probabilities, q = chain.uniformized_matrix()
+    transposed = probabilities.T.tocsr()
+    matvecs = 0
+    values = np.zeros(len(times))
+    for row, t in enumerate(times):
+        if t == 0.0:
+            continue
+        weights = fox_glynn(q * float(t), EPSILON)
+        cumulative = np.cumsum(weights.weights)
+        total = float(cumulative[-1])
+        vector = initial.copy()
+        accumulated = 0.0
+        for k in range(0, weights.right + 1):
+            tail = total if k < weights.left else total - float(cumulative[k - weights.left])
+            if tail <= 0.0:
+                break
+            accumulated += tail * float(vector @ rewards)
+            vector = transposed @ vector
+            matvecs += 1
+        values[row] = accumulated / q
+    return values, matvecs
+
+
+def _report(label, engine_matvecs, baseline_matvecs, baseline_seconds, deviation):
+    ratio = baseline_matvecs / max(engine_matvecs, 1)
+    print(
+        f"{label}: engine {engine_matvecs} matvecs, per-point baseline "
+        f"{baseline_matvecs} matvecs ({ratio:.1f}x reduction, baseline wall "
+        f"{baseline_seconds:.3f}s), max |engine - baseline| = {deviation:.2e}"
+    )
+
+
+def test_engine_survivability_line2(benchmark):
+    """The Fig. 8 grid (Line 2, Disaster 2, 101 points) — the acceptance gate."""
+    space = line_state_space(LINE2, FRF2)
+    threshold = space.model.effective_service_tree().service_intervals()[0][0]
+    times = np.linspace(0.0, 100.0, 101)
+
+    before = ENGINE_STATS.matvecs
+    engine_values = run_once(
+        benchmark, survivability, space, DISASTER_2, threshold, times
+    )
+    engine_matvecs = ENGINE_STATS.matvecs - before
+
+    started = time_module.perf_counter()
+    baseline_values, baseline_matvecs = _baseline_survivability(
+        space, DISASTER_2, threshold, times
+    )
+    baseline_seconds = time_module.perf_counter() - started
+
+    deviation = float(np.max(np.abs(np.asarray(engine_values) - baseline_values)))
+    print()
+    _report("Fig. 8 survivability (Line 2)", engine_matvecs, baseline_matvecs,
+            baseline_seconds, deviation)
+    assert baseline_matvecs >= 10 * engine_matvecs
+    assert deviation <= 1e-9
+
+
+def test_engine_survivability_line1(benchmark):
+    """The Fig. 4 grid (Line 1, Disaster 1, 91 points)."""
+    space = line_state_space(LINE1, FRF2)
+    threshold = space.model.effective_service_tree().service_intervals()[0][0]
+    times = np.linspace(0.0, 4.5, 91)
+
+    before = ENGINE_STATS.matvecs
+    engine_values = run_once(
+        benchmark, survivability, space, DISASTER_1, threshold, times
+    )
+    engine_matvecs = ENGINE_STATS.matvecs - before
+
+    started = time_module.perf_counter()
+    baseline_values, baseline_matvecs = _baseline_survivability(
+        space, DISASTER_1, threshold, times
+    )
+    baseline_seconds = time_module.perf_counter() - started
+
+    deviation = float(np.max(np.abs(np.asarray(engine_values) - baseline_values)))
+    print()
+    _report("Fig. 4 survivability (Line 1)", engine_matvecs, baseline_matvecs,
+            baseline_seconds, deviation)
+    assert baseline_matvecs >= 10 * engine_matvecs
+    assert deviation <= 1e-9
+
+
+def test_engine_accumulated_costs(benchmark):
+    """The Fig. 7 (Line 1) and Fig. 11 (Line 2) accumulated-cost grids."""
+    grids = (
+        ("Fig. 7 accumulated cost (Line 1)", LINE1, DISASTER_1, 10.0),
+        ("Fig. 11 accumulated cost (Line 2)", LINE2, DISASTER_2, 50.0),
+    )
+    spaces = {line: line_state_space(line, FRF2) for _, line, _, _ in grids}
+
+    def engine_curves():
+        curves = {}
+        matvecs = {}
+        for _, line, disaster, horizon in grids:
+            before = ENGINE_STATS.matvecs
+            curves[line] = accumulated_cost_curve(
+                spaces[line], horizon, disaster, points=101
+            )
+            matvecs[line] = ENGINE_STATS.matvecs - before
+        return curves, matvecs
+
+    curves, engine_matvecs = run_once(benchmark, engine_curves)
+
+    print()
+    total_baseline = 0
+    for label, line, disaster, horizon in grids:
+        times, engine_values = curves[line]
+        started = time_module.perf_counter()
+        baseline_values, baseline_matvecs = _baseline_accumulated_cost(
+            spaces[line], disaster, times
+        )
+        baseline_seconds = time_module.perf_counter() - started
+        total_baseline += baseline_matvecs
+        deviation = float(np.max(np.abs(engine_values - baseline_values)))
+        _report(label, engine_matvecs[line], baseline_matvecs, baseline_seconds, deviation)
+        assert deviation <= 1e-9
+    assert total_baseline >= 10 * sum(engine_matvecs.values())

@@ -184,7 +184,12 @@ def build_state_space(
     component_names = model.component_names
     repair_units = model.repair_units
     service_tree = model.effective_service_tree()
-    covered = {name for unit in repair_units for name in unit.components}
+    # Precomputed component -> repair-unit index (first covering unit wins),
+    # so the expansion loop needs no linear scan over units per failure.
+    unit_index_by_component: dict[str, int] = {}
+    for position, unit in enumerate(repair_units):
+        for name in unit.components:
+            unit_index_by_component.setdefault(name, position)
 
     initial_state: ArcadeState = (tuple(() for _ in repair_units), ())
 
@@ -219,11 +224,7 @@ def build_state_space(
             rate = model.effective_failure_rate(name, up)
             if rate <= 0.0:
                 continue
-            unit_index = None
-            for position, unit in enumerate(repair_units):
-                if unit.covers(name):
-                    unit_index = position
-                    break
+            unit_index = unit_index_by_component.get(name)
             if unit_index is None:
                 successor: ArcadeState = (queues, tuple(sorted([*uncovered, name])))
             else:

@@ -172,20 +172,14 @@ class ModelChecker:
         transformed = self._chain.make_absorbing(np.flatnonzero(blocked))
         probabilities, q = transformed.uniformized_matrix()
         from repro.ctmc.foxglynn import fox_glynn
+        from repro.ctmc.uniformization import poisson_mixture_sweep
 
         start_values = np.where(blocked, 0.0, second)
-        if path.lower == 0.0 or transformed.max_exit_rate == 0.0:
+        if transformed.max_exit_rate == 0.0:
             return start_values
         weights = fox_glynn(q * path.lower, self._epsilon)
-        result = np.zeros(self._chain.num_states)
-        vector = start_values.copy()
-        for _ in range(weights.left):
-            vector = probabilities @ vector
-        for k in range(weights.left, weights.right + 1):
-            result += weights.weight(k) * vector
-            if k < weights.right:
-                vector = probabilities @ vector
-        return np.where(blocked, 0.0, np.clip(result, 0.0, 1.0))
+        mixtures, _ = poisson_mixture_sweep(probabilities, start_values, [weights])
+        return np.where(blocked, 0.0, np.clip(mixtures[0], 0.0, 1.0))
 
     # ------------------------------------------------------------------
     # reward queries

@@ -7,6 +7,9 @@ engine plays in the paper:
   matrix, atomic-proposition labelling and an initial distribution.
 * :class:`~repro.ctmc.ctmc.MarkovRewardModel` — a CTMC plus state/transition
   reward structures (the model class of CSRL).
+* :mod:`~repro.ctmc.uniformization` — the single-pass uniformization engine:
+  one vector-power sweep per (chain, initial distribution) serves a whole
+  time grid of transient, reachability and reward measures.
 * :mod:`~repro.ctmc.transient` — transient analysis by uniformization
   (Fox–Glynn Poisson weights) and time-bounded reachability.
 * :mod:`~repro.ctmc.steady_state` — steady-state/long-run analysis with BSCC
@@ -21,6 +24,12 @@ engine plays in the paper:
 
 from repro.ctmc.ctmc import CTMC, MarkovRewardModel, RewardStructure
 from repro.ctmc.foxglynn import FoxGlynnWeights, fox_glynn
+from repro.ctmc.uniformization import (
+    ENGINE_STATS,
+    GridResult,
+    UniformizationStats,
+    evaluate_grid,
+)
 from repro.ctmc.transient import (
     time_bounded_reachability,
     transient_distribution,
@@ -42,12 +51,16 @@ from repro.ctmc.dtmc import DTMC, embedded_dtmc, uniformized_dtmc
 __all__ = [
     "CTMC",
     "DTMC",
+    "ENGINE_STATS",
     "FoxGlynnWeights",
+    "GridResult",
     "MarkovRewardModel",
     "RewardStructure",
+    "UniformizationStats",
     "bottom_strongly_connected_components",
     "cumulative_reward",
     "embedded_dtmc",
+    "evaluate_grid",
     "fox_glynn",
     "instantaneous_reward",
     "lump_ctmc",

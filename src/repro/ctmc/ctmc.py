@@ -131,6 +131,12 @@ class CTMC:
             )
         self._state_descriptions = list(state_descriptions) if state_descriptions else None
         self._exit_rates = np.asarray(matrix.sum(axis=1)).ravel()
+        # Caches of uniformized matrices (and their CSR transposes) keyed by
+        # the uniformization rate; the rate matrix is immutable after
+        # construction, so entries never go stale.  Callers receive copies
+        # (see uniformized_matrix / uniformized_transpose).
+        self._uniformized_cache: dict[float, sparse.csr_matrix] = {}
+        self._uniformized_transpose_cache: dict[float, sparse.csr_matrix] = {}
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -239,6 +245,9 @@ class CTMC:
         """Return the uniformized probability matrix ``P`` and the rate used.
 
         ``P = I + Q / q`` for a uniformization rate ``q >= max exit rate``.
+        The matrix is cached per rate (the rate matrix is immutable), and a
+        fresh copy is returned on every call so that callers may mutate the
+        result without corrupting later analyses.
         """
         q = self.max_exit_rate if rate is None else float(rate)
         if q <= 0.0:
@@ -249,11 +258,40 @@ class CTMC:
                 f"uniformization rate {q} is smaller than the maximal exit rate "
                 f"{self.max_exit_rate}"
             )
-        probabilities = self._rates / q
-        probabilities = sparse.csr_matrix(probabilities)
-        diagonal = 1.0 - self._exit_rates / q
-        probabilities = probabilities + sparse.diags(diagonal)
-        return sparse.csr_matrix(probabilities), q
+        return self._uniformized(q).copy(), q
+
+    def _uniformized(self, q: float) -> sparse.csr_matrix:
+        """The cached uniformized matrix for a validated rate ``q`` (no copy)."""
+        cached = self._uniformized_cache.get(q)
+        if cached is None:
+            probabilities = sparse.csr_matrix(self._rates / q)
+            diagonal = 1.0 - self._exit_rates / q
+            cached = sparse.csr_matrix(probabilities + sparse.diags(diagonal))
+            self._uniformized_cache[q] = cached
+        return cached
+
+    def uniformized_transpose(self, rate: float | None = None) -> tuple[sparse.csr_matrix, float]:
+        """Return ``Pᵀ`` of :meth:`uniformized_matrix` in CSR form, and the rate.
+
+        ``Pᵀ`` is the forward-sweep operator of uniformization
+        (``π_{k+1} = π_k P`` computed as ``Pᵀ πₖ``); converting ``P.T`` back
+        to CSR costs a full matrix pass, so the result is cached per rate
+        alongside the matrix itself.  As with :meth:`uniformized_matrix`, a
+        fresh copy is returned on every call.
+        """
+        q = self.max_exit_rate if rate is None else float(rate)
+        if q <= 0.0:
+            return sparse.identity(self._num_states, format="csr"), 1.0
+        if q < self.max_exit_rate - 1e-12:
+            raise CTMCError(
+                f"uniformization rate {q} is smaller than the maximal exit rate "
+                f"{self.max_exit_rate}"
+            )
+        cached = self._uniformized_transpose_cache.get(q)
+        if cached is None:
+            cached = self._uniformized(q).T.tocsr()
+            self._uniformized_transpose_cache[q] = cached
+        return cached.copy(), q
 
     # ------------------------------------------------------------------
     # transformations
@@ -274,7 +312,8 @@ class CTMC:
 
         This is the standard transformation used for time-bounded
         reachability: probability mass that enters an absorbing target state
-        stays there.
+        stays there.  The rows are cleared with vectorized CSR index
+        arithmetic (no per-state Python loop).
         """
         mask = np.zeros(self._num_states, dtype=bool)
         states_array = np.asarray(
@@ -282,14 +321,17 @@ class CTMC:
         )
         if states_array.dtype == bool:
             mask = states_array.copy()
-        else:
+        elif states_array.size:
             mask[states_array.astype(int)] = True
-        modified = self._rates.tolil(copy=True)
-        for state in np.flatnonzero(mask):
-            modified.rows[state] = []
-            modified.data[state] = []
+        row_lengths = np.diff(self._rates.indptr)
+        keep = np.repeat(~mask, row_lengths)
+        indptr = np.concatenate(([0], np.cumsum(np.where(mask, 0, row_lengths))))
+        cleared = sparse.csr_matrix(
+            (self._rates.data[keep], self._rates.indices[keep], indptr),
+            shape=self._rates.shape,
+        )
         return CTMC(
-            modified.tocsr(),
+            cleared,
             self._initial,
             labels={name: label.copy() for name, label in self._labels.items()},
             state_descriptions=self._state_descriptions,

@@ -80,7 +80,13 @@ def _find_truncation_points(rate: float, epsilon: float) -> tuple[int, int]:
         cumulative = 0.0
         term = math.exp(-rate)
         k = 0
-        while cumulative + term < 1.0 - epsilon / 2.0 and k < 10_000:
+        while cumulative + term < 1.0 - epsilon / 2.0:
+            if k >= 10_000:
+                raise ValueError(
+                    f"Fox-Glynn right truncation walk did not accumulate "
+                    f"1 - epsilon/2 within 10000 terms (rate={rate}, "
+                    f"epsilon={epsilon}); epsilon is too small for double precision"
+                )
             cumulative += term
             k += 1
             term *= rate / k
@@ -123,7 +129,6 @@ def fox_glynn(rate: float, epsilon: float = 1e-12) -> FoxGlynnWeights:
     left, right = _find_truncation_points(rate, epsilon)
     mode = min(max(int(math.floor(rate)), left), right)
     size = right - left + 1
-    weights = np.zeros(size, dtype=float)
 
     # Work in log space around the mode to avoid under/overflow, then shift.
     log_weights = np.zeros(size, dtype=float)

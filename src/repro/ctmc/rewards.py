@@ -20,7 +20,10 @@ Accumulated rewards are computed with the uniformization identity
 
 where ``P`` is the uniformized DTMC and ``N_{qt}`` a Poisson variable with
 mean ``q·t`` — the same machinery (and the same Fox–Glynn weights) used for
-transient distributions.
+transient distributions.  The curve variants hand the whole time grid to the
+shared uniformization engine (:mod:`repro.ctmc.uniformization`), which walks
+the vector-power sequence once and folds every bound's tail-weighted reward
+sums in along the way.
 """
 
 from __future__ import annotations
@@ -28,9 +31,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ctmc.ctmc import CTMC, CTMCError, MarkovRewardModel
-from repro.ctmc.foxglynn import fox_glynn
 from repro.ctmc.steady_state import steady_state_distribution
 from repro.ctmc.transient import DEFAULT_EPSILON, transient_distribution
+from repro.ctmc.uniformization import evaluate_grid
 
 
 def _resolve(
@@ -68,12 +71,22 @@ def instantaneous_reward_curve(
     initial_distribution: np.ndarray | None = None,
     epsilon: float = DEFAULT_EPSILON,
 ) -> np.ndarray:
-    """Expected reward rate at each time point in ``times``."""
-    from repro.ctmc.transient import transient_distributions
+    """Expected reward rate at each time point in ``times``.
 
+    The whole grid shares one uniformization sweep; only the scalar reward
+    sequence ``(π₀ Pᵏ)·ρ`` is accumulated, not full distributions.
+    """
     chain, rewards = _resolve(model, reward_name)
-    distributions = transient_distributions(chain, list(times), initial_distribution, epsilon)
-    return distributions @ rewards
+    result = evaluate_grid(
+        chain,
+        times,
+        initial_distribution=initial_distribution,
+        rewards=rewards,
+        distributions=False,
+        instantaneous=True,
+        epsilon=epsilon,
+    )
+    return result.instantaneous
 
 
 def cumulative_reward(
@@ -84,46 +97,13 @@ def cumulative_reward(
     epsilon: float = DEFAULT_EPSILON,
 ) -> float:
     """Expected reward accumulated in ``[0, time]`` (CSRL ``R=?[C<=t]``)."""
-    chain, rewards = _resolve(model, reward_name)
     if time < 0:
         raise CTMCError("time bound must be non-negative")
-    if time == 0.0:
-        return 0.0
-
-    if initial_distribution is None:
-        pi0 = chain.initial_distribution
-    else:
-        pi0 = np.asarray(initial_distribution, dtype=float)
-        if pi0.shape != (chain.num_states,):
-            raise CTMCError("initial distribution has the wrong length")
-
-    q_rate = chain.max_exit_rate
-    if q_rate == 0.0:
-        # No transitions at all: the chain sits in the initial distribution.
-        return float(time * (pi0 @ rewards))
-
-    probabilities, q = chain.uniformized_matrix()
-    transposed = probabilities.T.tocsr()
-
-    weights = fox_glynn(q * float(time), epsilon)
-
-    # Tail probabilities: tail[k] = P[N > k] computed from the truncated
-    # weights.  Below the left truncation point the tail is (numerically) 1.
-    cumulative = np.cumsum(weights.weights)
-    total = float(cumulative[-1])
-
-    vector = pi0.copy()
-    accumulated = 0.0
-    for k in range(0, weights.right + 1):
-        if k < weights.left:
-            tail = total
-        else:
-            tail = total - float(cumulative[k - weights.left])
-        if tail <= 0.0:
-            break
-        accumulated += tail * float(vector @ rewards)
-        vector = transposed @ vector
-    return accumulated / q
+    return float(
+        cumulative_reward_curve(
+            model, [float(time)], reward_name, initial_distribution, epsilon
+        )[0]
+    )
 
 
 def cumulative_reward_curve(
@@ -133,13 +113,23 @@ def cumulative_reward_curve(
     initial_distribution: np.ndarray | None = None,
     epsilon: float = DEFAULT_EPSILON,
 ) -> np.ndarray:
-    """Expected accumulated reward for each time bound in ``times``."""
-    return np.array(
-        [
-            cumulative_reward(model, float(t), reward_name, initial_distribution, epsilon)
-            for t in times
-        ]
+    """Expected accumulated reward for each time bound in ``times``.
+
+    All bounds share one uniformization sweep: the scalar reward sequence
+    ``rₖ = (π₀ Pᵏ)·ρ`` is generated once and every bound's tail-weighted sum
+    ``(1/q) Σ_k P[N_{qt} > k] rₖ`` is assembled from it with numpy slices.
+    """
+    chain, rewards = _resolve(model, reward_name)
+    result = evaluate_grid(
+        chain,
+        times,
+        initial_distribution=initial_distribution,
+        rewards=rewards,
+        distributions=False,
+        cumulative=True,
+        epsilon=epsilon,
     )
+    return result.cumulative
 
 
 def steady_state_reward(

@@ -5,9 +5,10 @@ state distribution ``π(t)`` of a CTMC at time ``t`` from its initial
 distribution using uniformization with Fox–Glynn Poisson weights.  On top of
 it:
 
-* :func:`transient_distributions` evaluates a whole grid of time points
-  (re-using the DTMC powers efficiently by walking the grid in increasing
-  order),
+* :func:`transient_distributions` evaluates a whole grid of time points in a
+  single shared uniformization sweep (the vector-power sequence ``π₀·Pᵏ`` is
+  walked once and every grid point's Poisson mixture is folded in along the
+  way, see :mod:`repro.ctmc.uniformization`),
 * :func:`time_bounded_reachability` computes
   ``P[ F^{<= t} target ]`` / ``P[ safe U^{<= t} target ]`` — the probability
   of reaching target states within a time bound, the backbone of the CSL
@@ -23,9 +24,16 @@ import numpy as np
 
 from repro.ctmc.ctmc import CTMC, CTMCError
 from repro.ctmc.foxglynn import fox_glynn
+from repro.ctmc.uniformization import DEFAULT_EPSILON, evaluate_grid, poisson_mixture_sweep
 
-#: Default truncation error for the Poisson mixture.
-DEFAULT_EPSILON = 1e-10
+__all__ = [
+    "DEFAULT_EPSILON",
+    "expected_time_in_states",
+    "time_bounded_reachability",
+    "time_bounded_reachability_per_state",
+    "transient_distribution",
+    "transient_distributions",
+]
 
 
 def _as_state_mask(chain: CTMC, states: Iterable[int] | np.ndarray | str) -> np.ndarray:
@@ -75,42 +83,16 @@ def transient_distributions(
     """Return transient distributions for several time points.
 
     The result is an array of shape ``(len(times), num_states)``; row ``i``
-    is ``π(times[i])``.  Time points may be given in any order; they are
-    evaluated independently but share the uniformized DTMC.
+    is ``π(times[i])``.  Time points may be given in any order and may
+    contain duplicates; the whole grid is evaluated in one shared
+    uniformization sweep (see :func:`repro.ctmc.uniformization.evaluate_grid`),
+    so the cost is governed by the *largest* Fox–Glynn truncation point
+    rather than the sum over all grid points.
     """
-    if len(times) == 0:
-        return np.zeros((0, chain.num_states))
-    times_array = np.asarray(times, dtype=float)
-    if np.any(times_array < 0):
-        raise CTMCError("time points must be non-negative")
-
-    if initial_distribution is None:
-        pi0 = chain.initial_distribution
-    else:
-        pi0 = np.asarray(initial_distribution, dtype=float)
-        if pi0.shape != (chain.num_states,):
-            raise CTMCError("initial distribution has the wrong length")
-
-    probabilities, q = chain.uniformized_matrix()
-    transposed = probabilities.T.tocsr()
-
-    results = np.zeros((len(times_array), chain.num_states), dtype=float)
-    for row, time in enumerate(times_array):
-        if time == 0.0 or chain.max_exit_rate == 0.0:
-            results[row] = pi0
-            continue
-        weights = fox_glynn(q * float(time), epsilon)
-        accumulator = np.zeros(chain.num_states, dtype=float)
-        vector = pi0.copy()
-        # Advance the DTMC to the left truncation point without accumulating.
-        for _ in range(weights.left):
-            vector = transposed @ vector
-        for k in range(weights.left, weights.right + 1):
-            accumulator += weights.weight(k) * vector
-            if k < weights.right:
-                vector = transposed @ vector
-        results[row] = accumulator
-    return results
+    result = evaluate_grid(
+        chain, times, initial_distribution=initial_distribution, epsilon=epsilon
+    )
+    return result.distributions
 
 
 def time_bounded_reachability(
@@ -203,15 +185,10 @@ def time_bounded_reachability_per_state(
         return target_mask.astype(float)
 
     weights = fox_glynn(q * float(time), epsilon)
-    result = np.zeros(chain.num_states, dtype=float)
-    vector = target_mask.astype(float)
-    for _ in range(weights.left):
-        vector = probabilities @ vector
-    for k in range(weights.left, weights.right + 1):
-        result += weights.weight(k) * vector
-        if k < weights.right:
-            vector = probabilities @ vector
-    return np.clip(result, 0.0, 1.0)
+    mixtures, _ = poisson_mixture_sweep(
+        probabilities, target_mask.astype(float), [weights]
+    )
+    return np.clip(mixtures[0], 0.0, 1.0)
 
 
 def expected_time_in_states(

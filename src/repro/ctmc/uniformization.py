@@ -1,0 +1,302 @@
+"""Single-pass uniformization engine for time-grid measures.
+
+Every figure of the paper is a *curve*: survivability, reliability or cost
+evaluated on a 46–101-point time grid.  Evaluating each grid point
+independently restarts the uniformization recursion ``π₀·Pᵏ`` from ``k = 0``,
+costing ``Σᵢ Rᵢ`` sparse matrix–vector products for right truncation points
+``Rᵢ``.  The engine in this module walks the vector-power sequence
+``π₀·Pᵏ`` exactly **once** per (chain, initial distribution) and folds all
+requested time points into per-time accumulators during that single sweep,
+costing ``max_i Rᵢ`` products instead — a roughly ``points/2``-fold
+reduction on fine grids.
+
+Three measures ride on the same sweep:
+
+* transient distributions
+  ``π(tᵢ) = Σ_k wᵢ(k) · (π₀ Pᵏ)`` — the Poisson mixture with Fox–Glynn
+  weights ``wᵢ`` for rate ``q·tᵢ``,
+* instantaneous rewards
+  ``Σ_k wᵢ(k) · (π₀ Pᵏ)·ρ``,
+* cumulative rewards
+  ``(1/q) Σ_k P[N_{q tᵢ} > k] · (π₀ Pᵏ)·ρ``.
+
+The sweep processes the ``k`` axis in blocks and applies each time point's
+weight window as a numpy slice (one dot product per block and time point),
+so no per-``k`` Python scalar work remains on the hot path.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from repro.ctmc.ctmc import CTMC, CTMCError
+from repro.ctmc.foxglynn import FoxGlynnWeights, fox_glynn
+
+#: Default truncation error for the Poisson mixture.
+DEFAULT_EPSILON = 1e-10
+
+#: Number of ``π₀·Pᵏ`` vectors buffered per weight-application step.
+DEFAULT_BLOCK_SIZE = 64
+
+
+@dataclass
+class UniformizationStats:
+    """Counters describing the work performed by the engine.
+
+    Attributes
+    ----------
+    matvecs:
+        Number of sparse matrix–vector products performed.
+    sweeps:
+        Number of vector-power sweeps (one per engine invocation with a
+        non-trivial grid).
+    """
+
+    matvecs: int = 0
+    sweeps: int = 0
+
+    def reset(self) -> None:
+        self.matvecs = 0
+        self.sweeps = 0
+
+
+#: Process-wide counters, updated by every sweep.  Benchmarks read deltas of
+#: this object to report *measured* matvec counts without plumbing a stats
+#: object through the measure layers.
+ENGINE_STATS = UniformizationStats()
+
+
+@dataclass(frozen=True)
+class GridResult:
+    """Result of :func:`evaluate_grid`, index-aligned with the requested times.
+
+    Attributes
+    ----------
+    times:
+        The requested time grid (original order, duplicates preserved).
+    distributions:
+        ``(len(times), num_states)`` array of transient distributions, or
+        ``None`` if not requested.
+    instantaneous:
+        ``(len(times),)`` expected reward rates, or ``None``.
+    cumulative:
+        ``(len(times),)`` expected accumulated rewards, or ``None``.
+    matvecs:
+        Sparse matvecs performed for this grid (the whole grid shares one
+        sweep, so this is the maximal right truncation point, not a sum).
+    """
+
+    times: np.ndarray
+    distributions: np.ndarray | None
+    instantaneous: np.ndarray | None
+    cumulative: np.ndarray | None
+    matvecs: int
+
+
+def poisson_mixture_sweep(
+    operator: sparse.spmatrix,
+    start: np.ndarray,
+    windows: Sequence[FoxGlynnWeights],
+    rewards: np.ndarray | None = None,
+    collect_mixtures: bool = True,
+    stats: UniformizationStats | None = None,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> tuple[np.ndarray | None, np.ndarray | None]:
+    """Walk ``v_{k+1} = operator @ v_k`` once and accumulate Poisson mixtures.
+
+    This is the engine core, shared by forward analysis (``operator = Pᵀ``,
+    ``start = π₀``) and backward analysis (``operator = P``, ``start`` a
+    value vector).  The vector powers are generated exactly once, up to the
+    largest right truncation point of ``windows``; each window's weights are
+    applied to whole blocks of vectors as numpy slices.
+
+    Returns
+    -------
+    (mixtures, reward_sequence):
+        ``mixtures[i] = Σ_k windows[i].weight(k) · v_k`` with shape
+        ``(len(windows), len(start))`` (``None`` unless
+        ``collect_mixtures``), and ``reward_sequence[k] = v_k @ rewards``
+        for ``k = 0 .. max right`` (``None`` unless ``rewards`` is given).
+    """
+    dimension = start.shape[0]
+    if not windows:
+        mixtures = np.zeros((0, dimension)) if collect_mixtures else None
+        return mixtures, (np.zeros(0) if rewards is not None else None)
+
+    right_max = max(window.right for window in windows)
+    mixtures = np.zeros((len(windows), dimension)) if collect_mixtures else None
+    reward_sequence = np.empty(right_max + 1) if rewards is not None else None
+
+    performed = 0
+    vector = np.array(start, dtype=float, copy=True)
+    for block_start in range(0, right_max + 1, block_size):
+        block_stop = min(block_start + block_size, right_max + 1)
+        block = np.empty((block_stop - block_start, dimension)) if collect_mixtures else None
+        for offset, k in enumerate(range(block_start, block_stop)):
+            if block is not None:
+                block[offset] = vector
+            if reward_sequence is not None:
+                reward_sequence[k] = vector @ rewards
+            if k < right_max:
+                vector = operator @ vector
+                performed += 1
+        if block is None:
+            continue
+        for index, window in enumerate(windows):
+            lo = max(window.left, block_start)
+            hi = min(window.right, block_stop - 1)
+            if lo <= hi:
+                mixtures[index] += (
+                    window.weights[lo - window.left : hi - window.left + 1]
+                    @ block[lo - block_start : hi - block_start + 1]
+                )
+
+    ENGINE_STATS.matvecs += performed
+    ENGINE_STATS.sweeps += 1
+    if stats is not None:
+        stats.matvecs += performed
+        stats.sweeps += 1
+    return mixtures, reward_sequence
+
+
+def evaluate_grid(
+    chain: CTMC,
+    times: Sequence[float] | np.ndarray,
+    initial_distribution: np.ndarray | None = None,
+    rewards: np.ndarray | None = None,
+    distributions: bool = True,
+    instantaneous: bool = False,
+    cumulative: bool = False,
+    epsilon: float = DEFAULT_EPSILON,
+    stats: UniformizationStats | None = None,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> GridResult:
+    """Evaluate transient and/or reward measures on a whole time grid at once.
+
+    The grid may be unsorted and contain duplicates and ``t = 0``; duplicate
+    time points share one Fox–Glynn window and all points share one
+    vector-power sweep.
+
+    Parameters
+    ----------
+    chain:
+        The CTMC to analyse.
+    times:
+        Time points (non-negative, any order).
+    initial_distribution:
+        Optional override of the chain's initial distribution.
+    rewards:
+        State reward-rate vector; required for the reward outputs.
+    distributions, instantaneous, cumulative:
+        Which outputs to compute (see :class:`GridResult`).
+    epsilon:
+        Truncation error of the Poisson mixture.
+    stats:
+        Optional counter object updated with the work performed.
+    """
+    times_array = np.asarray(times, dtype=float)
+    if times_array.ndim != 1:
+        raise CTMCError("time grid must be one-dimensional")
+    if not np.all(np.isfinite(times_array)):
+        raise CTMCError("time points must be finite")
+    if np.any(times_array < 0):
+        raise CTMCError("time points must be non-negative")
+
+    need_rewards = instantaneous or cumulative
+    if need_rewards:
+        if rewards is None:
+            raise CTMCError("instantaneous/cumulative outputs need a reward vector")
+        rewards = np.asarray(rewards, dtype=float)
+        if rewards.shape != (chain.num_states,):
+            raise CTMCError("reward vector has the wrong length")
+
+    if initial_distribution is None:
+        pi0 = chain.initial_distribution
+    else:
+        pi0 = np.asarray(initial_distribution, dtype=float)
+        if pi0.shape != (chain.num_states,):
+            raise CTMCError("initial distribution has the wrong length")
+
+    num_times = times_array.shape[0]
+    num_states = chain.num_states
+    dist_out = np.zeros((num_times, num_states)) if distributions else None
+    inst_out = np.zeros(num_times) if instantaneous else None
+    cum_out = np.zeros(num_times) if cumulative else None
+    if num_times == 0:
+        return GridResult(times_array.copy(), dist_out, inst_out, cum_out, 0)
+
+    initial_rate = float(pi0 @ rewards) if need_rewards else 0.0
+    if chain.max_exit_rate == 0.0:
+        # No transitions at all: the chain sits in the initial distribution.
+        if distributions:
+            dist_out[:] = pi0
+        if instantaneous:
+            inst_out[:] = initial_rate
+        if cumulative:
+            cum_out[:] = times_array * initial_rate
+        return GridResult(times_array.copy(), dist_out, inst_out, cum_out, 0)
+
+    transposed, q = chain.uniformized_transpose()
+
+    unique_times, inverse = np.unique(times_array, return_inverse=True)
+    positive = np.flatnonzero(unique_times > 0.0)
+    windows = [fox_glynn(q * float(unique_times[i]), epsilon) for i in positive]
+
+    local = UniformizationStats()
+    mixtures, reward_sequence = poisson_mixture_sweep(
+        transposed,
+        pi0,
+        windows,
+        rewards=rewards if need_rewards else None,
+        collect_mixtures=distributions,
+        stats=local,
+        block_size=block_size,
+    )
+    if stats is not None:
+        stats.matvecs += local.matvecs
+        stats.sweeps += local.sweeps
+
+    num_unique = unique_times.shape[0]
+    unique_dist = np.zeros((num_unique, num_states)) if distributions else None
+    unique_inst = np.zeros(num_unique) if instantaneous else None
+    unique_cum = np.zeros(num_unique) if cumulative else None
+    if cumulative:
+        # prefix[k] = Σ_{j < k} v_j @ rewards, used for the sub-window head
+        # where the Poisson tail probability is (numerically) the full mass.
+        prefix = np.concatenate(([0.0], np.cumsum(reward_sequence)))
+
+    for window_index, unique_index in enumerate(positive):
+        window = windows[window_index]
+        if distributions:
+            unique_dist[unique_index] = mixtures[window_index]
+        if instantaneous:
+            unique_inst[unique_index] = float(
+                window.weights @ reward_sequence[window.left : window.right + 1]
+            )
+        if cumulative:
+            mass = np.cumsum(window.weights)
+            total = float(mass[-1])
+            tails = total - mass  # tails[j] = P[N > left + j]
+            unique_cum[unique_index] = (
+                total * float(prefix[window.left])
+                + float(tails @ reward_sequence[window.left : window.right + 1])
+            ) / q
+
+    for unique_index in np.flatnonzero(unique_times == 0.0):
+        if distributions:
+            unique_dist[unique_index] = pi0
+        if instantaneous:
+            unique_inst[unique_index] = initial_rate
+        # cumulative reward at t = 0 stays 0
+
+    if distributions:
+        dist_out[:] = unique_dist[inverse]
+    if instantaneous:
+        inst_out[:] = unique_inst[inverse]
+    if cumulative:
+        cum_out[:] = unique_cum[inverse]
+    return GridResult(times_array.copy(), dist_out, inst_out, cum_out, local.matvecs)

@@ -83,6 +83,61 @@ class TestTransformations:
         # Labels survive the transformation.
         assert list(absorbing.label_states("down")) == [1]
 
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    def test_make_absorbing_matches_per_row_reference(self, seed):
+        """The vectorized CSR row masking agrees with per-row clearing."""
+        rng = np.random.default_rng(seed)
+        num_states = int(rng.integers(2, 30))
+        rates = rng.random((num_states, num_states)) * (
+            rng.random((num_states, num_states)) < 0.25
+        )
+        np.fill_diagonal(rates, 0.0)
+        chain = CTMC(rates, np.full(num_states, 1.0 / num_states))
+        absorb = rng.random(num_states) < 0.4
+
+        reference = chain.rate_matrix.tolil(copy=True)
+        for state in np.flatnonzero(absorb):
+            reference.rows[state] = []
+            reference.data[state] = []
+
+        for states in (absorb, np.flatnonzero(absorb)):
+            transformed = chain.make_absorbing(states)
+            assert (transformed.rate_matrix != reference.tocsr()).nnz == 0
+            assert transformed.exit_rates[absorb] == pytest.approx(0.0)
+            assert transformed.exit_rates[~absorb] == pytest.approx(
+                chain.exit_rates[~absorb]
+            )
+
+    def test_make_absorbing_no_states(self, two_state_chain):
+        unchanged = two_state_chain.make_absorbing([])
+        assert (unchanged.rate_matrix != two_state_chain.rate_matrix).nnz == 0
+
+    def test_uniformized_matrix_cached_copies_are_mutation_safe(self, two_state_chain):
+        first, q1 = two_state_chain.uniformized_matrix()
+        snapshot = first.toarray().copy()
+        first.data[:] = -7.0  # a hostile caller scribbles over the result
+        second, q2 = two_state_chain.uniformized_matrix()
+        assert q1 == q2
+        assert second.toarray() == pytest.approx(snapshot)
+
+    def test_uniformized_matrix_cached_per_rate(self, two_state_chain):
+        default, _ = two_state_chain.uniformized_matrix()
+        larger, q = two_state_chain.uniformized_matrix(rate=2.0)
+        assert q == 2.0
+        assert np.asarray(larger.sum(axis=1)).ravel() == pytest.approx([1.0, 1.0])
+        again, _ = two_state_chain.uniformized_matrix(rate=2.0)
+        assert again.toarray() == pytest.approx(larger.toarray())
+        assert default.toarray() != pytest.approx(larger.toarray())
+
+    def test_uniformized_transpose_matches_matrix(self, two_state_chain):
+        matrix, q_matrix = two_state_chain.uniformized_matrix()
+        transposed, q_transposed = two_state_chain.uniformized_transpose()
+        assert q_matrix == q_transposed
+        assert transposed.toarray() == pytest.approx(matrix.T.toarray())
+        transposed.data[:] = -1.0  # copies are mutation-safe here too
+        again, _ = two_state_chain.uniformized_transpose()
+        assert again.toarray() == pytest.approx(matrix.T.toarray())
+
     def test_with_initial_distribution(self, two_state_chain):
         moved = two_state_chain.with_initial_distribution({1: 1.0})
         assert moved.initial_state == 1

@@ -27,6 +27,13 @@ class TestFoxGlynn:
         with pytest.raises(ValueError):
             fox_glynn(1.0, epsilon=2.0)
 
+    def test_unattainable_epsilon_raises_instead_of_capping(self):
+        # With epsilon below the double-precision resolution the cumulative
+        # mass can never reach 1 - epsilon/2; the truncation walk must raise
+        # rather than silently cap the window (which would bias results).
+        with pytest.raises(ValueError, match="truncation"):
+            fox_glynn(10.0, epsilon=1e-300)
+
     @pytest.mark.parametrize("rate", [0.1, 1.0, 5.0, 30.0, 123.4, 1500.0, 20_000.0])
     def test_weights_match_scipy_poisson(self, rate):
         weights = fox_glynn(rate, epsilon=1e-12)
