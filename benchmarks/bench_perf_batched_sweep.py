@@ -1,0 +1,174 @@
+"""Perf benchmark — batched analysis sessions vs per-curve measure calls.
+
+Two sharing mechanisms of the analysis session are measured on the paper's
+figure families, in the engine's own work units (deltas of
+:data:`repro.ctmc.uniformization.ENGINE_STATS`, so the numbers are observed,
+not estimated):
+
+* **Lumped shared sweeps (Fig. 4/5 family, Line 1, Disaster 1)** — all six
+  curves (3 strategies × service intervals X1/X2) as one session with
+  ``lump=True``.  Each (chain, rate, grid) group runs exactly one sweep on
+  its ordinary-lumpability quotient, whose operator has orders of magnitude
+  fewer non-zeros than the full chain, so the *sparse ops* (``sparse_flops``
+  = nnz × columns per operator application) collapse.  Acceptance gate:
+  >= 3x fewer sparse ops than the per-curve calls, values within 1e-9.
+
+* **Multi-initial batching (Fig. 8 family, Line 2)** — the X1 recovery
+  curve of all five paper strategies for *both* disasters as one unlumped
+  session.  Per strategy the two disasters differ only in the initial
+  distribution, so the planner merges them into one group and the executor
+  propagates a 2-row initial block: the *operator applications* halve while
+  the values stay identical.
+
+Setting ``REPRO_BENCH_FAST=1`` (used by the CI regression step) switches to
+coarser grids; both gates hold there too.
+"""
+
+from __future__ import annotations
+
+import os
+import time as time_module
+
+import numpy as np
+from bench_support import run_once
+
+from repro.analysis import AnalysisSession, SessionStats
+from repro.arcade.repair import RepairStrategy
+from repro.casestudy.experiments import line_state_space
+from repro.casestudy.facility import (
+    DISASTER_1,
+    DISASTER_2,
+    LINE1,
+    LINE2,
+    PAPER_STRATEGIES,
+    StrategyConfiguration,
+)
+from repro.ctmc.uniformization import ENGINE_STATS
+from repro.measures import survivability, survivability_request
+
+EPSILON = 1e-10
+FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
+LINE1_POINTS = 31 if FAST else 91
+LINE2_POINTS = 31 if FAST else 101
+
+_LINE1_STRATEGIES = (
+    StrategyConfiguration(RepairStrategy.DEDICATED, 1),
+    StrategyConfiguration(RepairStrategy.FASTEST_REPAIR_FIRST, 1),
+    StrategyConfiguration(RepairStrategy.FASTEST_REPAIR_FIRST, 2),
+)
+
+
+def _interval_threshold(line, interval_index):
+    space = line_state_space(line, _LINE1_STRATEGIES[0])
+    return space.model.effective_service_tree().service_intervals()[interval_index][0]
+
+
+def _per_curve_baseline(curve_specs):
+    """Evaluate every curve with its own legacy measure call, measuring work."""
+    flops_before = ENGINE_STATS.sparse_flops
+    applies_before = ENGINE_STATS.applies
+    started = time_module.perf_counter()
+    values = [
+        survivability(space, disaster, threshold, times)
+        for space, disaster, threshold, times in curve_specs
+    ]
+    seconds = time_module.perf_counter() - started
+    return (
+        values,
+        ENGINE_STATS.sparse_flops - flops_before,
+        ENGINE_STATS.applies - applies_before,
+        seconds,
+    )
+
+
+def test_lumped_family_sweep_fig4_5(benchmark):
+    """The whole Fig. 4/5 family as one lumped session — the >= 3x gate."""
+    times = np.linspace(0.0, 4.5, LINE1_POINTS)
+    curve_specs = [
+        (line_state_space(LINE1, configuration), DISASTER_1,
+         _interval_threshold(LINE1, interval_index), times)
+        for interval_index in (0, 1)
+        for configuration in _LINE1_STRATEGIES
+    ]
+
+    def batched_family():
+        stats = SessionStats()
+        session = AnalysisSession(lump=True, stats=stats)
+        indices = [
+            session.add(survivability_request(space, disaster, threshold, grid))
+            for space, disaster, threshold, grid in curve_specs
+        ]
+        results = session.execute()
+        return [results[index].squeezed for index in indices], stats
+
+    flops_before = ENGINE_STATS.sparse_flops
+    (batched_values, stats) = run_once(benchmark, batched_family)
+    batched_flops = ENGINE_STATS.sparse_flops - flops_before
+
+    baseline_values, baseline_flops, _, baseline_seconds = _per_curve_baseline(
+        curve_specs
+    )
+
+    deviation = max(
+        float(np.max(np.abs(np.asarray(a) - np.asarray(b))))
+        for a, b in zip(batched_values, baseline_values)
+    )
+    ratio = baseline_flops / max(batched_flops, 1)
+    print()
+    print(
+        f"Fig. 4/5 family ({len(curve_specs)} curves): lumped session "
+        f"{batched_flops} sparse flops vs per-curve {baseline_flops} "
+        f"({ratio:.1f}x reduction, baseline wall {baseline_seconds:.3f}s), "
+        f"lumped {stats.lumped_states_before}->{stats.lumped_states_after} states, "
+        f"max deviation {deviation:.2e}"
+    )
+    assert stats.sweeps == stats.groups  # one sweep per (chain, rate, grid) group
+    assert baseline_flops >= 3 * batched_flops
+    assert deviation <= 1e-9
+
+
+def test_multi_initial_batching_fig8(benchmark):
+    """Both disasters of every Fig. 8 strategy share one sweep per chain."""
+    times = np.linspace(0.0, 100.0, LINE2_POINTS)
+    threshold = _interval_threshold(LINE2, 0)
+    curve_specs = [
+        (line_state_space(LINE2, configuration), disaster, threshold, times)
+        for configuration in PAPER_STRATEGIES
+        for disaster in (DISASTER_1, DISASTER_2)
+    ]
+
+    def batched_family():
+        stats = SessionStats()
+        session = AnalysisSession(stats=stats)
+        indices = [
+            session.add(survivability_request(space, disaster, threshold, grid))
+            for space, disaster, threshold, grid in curve_specs
+        ]
+        results = session.execute()
+        return [results[index].squeezed for index in indices], stats
+
+    applies_before = ENGINE_STATS.applies
+    (batched_values, stats) = run_once(benchmark, batched_family)
+    batched_applies = ENGINE_STATS.applies - applies_before
+
+    baseline_values, _, baseline_applies, baseline_seconds = _per_curve_baseline(
+        curve_specs
+    )
+
+    deviation = max(
+        float(np.max(np.abs(np.asarray(a) - np.asarray(b))))
+        for a, b in zip(batched_values, baseline_values)
+    )
+    ratio = baseline_applies / max(batched_applies, 1)
+    print()
+    print(
+        f"Fig. 8 family x 2 disasters ({len(curve_specs)} curves): batched "
+        f"session {batched_applies} operator applications vs per-curve "
+        f"{baseline_applies} ({ratio:.1f}x reduction, baseline wall "
+        f"{baseline_seconds:.3f}s), {stats.groups} groups for "
+        f"{stats.requests} requests, max deviation {deviation:.2e}"
+    )
+    assert stats.groups == len(PAPER_STRATEGIES)  # disasters merged per strategy
+    assert stats.sweeps == stats.groups
+    assert baseline_applies >= 1.9 * batched_applies
+    assert deviation <= 1e-12  # same sweep mathematics, only batched

@@ -95,6 +95,10 @@ def main() -> None:
     print(f"  Monte-Carlo estimate    : {interval}\n")
 
     # --- survivability of the custom disaster -----------------------------
+    # Per-call idiom (deprecated for curve families): each call below builds
+    # a one-request analysis session.  To evaluate many thresholds/disasters
+    # in shared sweeps, collect survivability_request objects into one
+    # repro.analysis.AnalysisSession instead (examples/batched_sweep.py).
     for hours in (12.0, 24.0, 48.0):
         probability = survivability(direct, "blackout", 1.0, hours)
         print(f"P(full service restored within {hours:>4.0f} h after the blackout) = {probability:.4f}")

@@ -15,6 +15,14 @@ failed):
 Run with::
 
     python examples/survivability_analysis.py [--horizon HOURS]
+
+.. deprecated::
+    This example evaluates one ``survivability_curve`` call per curve — the
+    per-call idiom.  It keeps working (every per-call function is now a thin
+    wrapper over a one-request analysis session), but for curve families
+    prefer declaring ``survivability_request`` objects and executing them in
+    one ``repro.analysis.AnalysisSession`` so compatible curves share their
+    uniformization sweeps — see ``examples/batched_sweep.py``.
 """
 
 import argparse

@@ -1,0 +1,37 @@
+"""Batched analysis sessions: plan measure requests, execute shared sweeps.
+
+This package is the batch-service layer over the uniformization engine
+(:mod:`repro.ctmc.uniformization`): callers declare
+:class:`MeasureRequest` objects, an :class:`AnalysisSession` plans them
+into groups that agree on (chain identity, uniformization rate, time grid,
+epsilon), and each group is dispatched as one sweep that batches all the
+group's initial distributions and observable vectors.  Every legacy measure
+entry point (``repro.ctmc.transient``, ``repro.ctmc.rewards``,
+``repro.measures``, the CSL checker) is a thin wrapper that submits a
+one-request session, so the batched path is the *only* numerical path.
+"""
+
+from repro.analysis.planner import (
+    ExecutionGroup,
+    ExecutionPlan,
+    LumpedChain,
+    build_plan,
+)
+from repro.analysis.requests import (
+    MeasureKind,
+    MeasureRequest,
+    MeasureResult,
+)
+from repro.analysis.session import AnalysisSession, SessionStats
+
+__all__ = [
+    "AnalysisSession",
+    "ExecutionGroup",
+    "ExecutionPlan",
+    "LumpedChain",
+    "MeasureKind",
+    "MeasureRequest",
+    "MeasureResult",
+    "SessionStats",
+    "build_plan",
+]

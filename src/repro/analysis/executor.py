@@ -1,0 +1,231 @@
+"""Execution: dispatch each planned group as one uniformization sweep.
+
+For a regular group the executor stacks
+
+* the union of all members' initial distributions (deduplicated
+  bit-for-bit) into the sweep's ``(num_initials, num_states)`` block, and
+* the union of all members' observable vectors — target indicators for
+  reachability, reward-rate vectors for the reward kinds — into the sweep's
+  ``(num_states, num_rewards)`` reward matrix,
+
+then calls :func:`repro.ctmc.uniformization.evaluate_grid_block` exactly
+once, so the whole group shares a single vector-power sweep and one set of
+Fox–Glynn windows.  Reachability rides on the reward axis: with the target
+states absorbed, ``P[ safe U^{<=t} target ]`` is the instantaneous
+"reward" of the target-indicator vector.
+
+Interval-until groups (CSL ``U[a, b]``) are the one exception: they need a
+backward sweep on the target-absorbed chain for the ``[a, b]`` phase and a
+forward sweep on the safe-restricted chain for the ``[0, a]`` phase — two
+sweeps per group, with all member initials still batched through the
+forward phase.
+
+When the planner attached a quotient (:class:`~repro.analysis.planner.LumpedChain`),
+the sweep runs on the quotient chain: initial distributions are projected
+blockwise and the observable vectors are restricted to one value per block
+(they are block-constant by construction of the lumping partition).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ctmc.foxglynn import fox_glynn
+from repro.ctmc.uniformization import (
+    UniformizationStats,
+    evaluate_grid_block,
+    poisson_mixture_sweep,
+)
+from repro.analysis.planner import ExecutionGroup, ExecutionPlan, PlannedRequest
+from repro.analysis.requests import MeasureKind, MeasureResult
+
+
+class _ColumnPool:
+    """Deduplicate vectors bit-for-bit while preserving first-seen order."""
+
+    def __init__(self) -> None:
+        self._index: dict[bytes, int] = {}
+        self._vectors: list[np.ndarray] = []
+
+    def add(self, vector: np.ndarray) -> int:
+        key = vector.tobytes()
+        position = self._index.get(key)
+        if position is None:
+            position = len(self._vectors)
+            self._index[key] = position
+            self._vectors.append(vector)
+        return position
+
+    def stack(self) -> np.ndarray:
+        return np.stack(self._vectors)
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+
+def execute_plan(
+    plan: ExecutionPlan, engine_stats: UniformizationStats | None = None
+) -> list[MeasureResult]:
+    """Run every group of ``plan`` and return results in request order."""
+    results: list[MeasureResult | None] = [None] * plan.num_requests
+    for group_index, group in enumerate(plan.groups):
+        if group.interval:
+            _execute_interval_group(group, group_index, results, engine_stats)
+        else:
+            _execute_group(group, group_index, results, engine_stats)
+    return results  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# regular groups: one forward sweep
+# ----------------------------------------------------------------------
+def _execute_group(
+    group: ExecutionGroup,
+    group_index: int,
+    results: list[MeasureResult | None],
+    engine_stats: UniformizationStats | None,
+) -> None:
+    initial_pool = _ColumnPool()
+    reward_pool = _ColumnPool()
+    member_rows: list[list[int]] = []
+    member_columns: list[int | None] = []
+    need_distributions = need_instantaneous = need_cumulative = False
+
+    for member in group.members:
+        member_rows.append([initial_pool.add(row) for row in member.initials])
+        kind = member.kind
+        if kind is MeasureKind.TRANSIENT:
+            need_distributions = True
+            member_columns.append(None)
+        elif kind is MeasureKind.REACHABILITY:
+            need_instantaneous = True
+            member_columns.append(reward_pool.add(member.target_mask.astype(float)))
+        elif kind is MeasureKind.INSTANTANEOUS_REWARD:
+            need_instantaneous = True
+            member_columns.append(reward_pool.add(member.rewards))
+        elif kind is MeasureKind.CUMULATIVE_REWARD:
+            need_cumulative = True
+            member_columns.append(reward_pool.add(member.rewards))
+        else:  # pragma: no cover - the planner routes interval kinds elsewhere
+            raise AssertionError(f"unexpected kind {kind} in a regular group")
+
+    chain = group.chain
+    initial_block = initial_pool.stack()
+    reward_matrix = reward_pool.stack().T if len(reward_pool) else None
+    lumped = group.lumped
+    if lumped is not None:
+        chain = lumped.quotient
+        initial_block = lumped.project_distributions(initial_block)
+        if reward_matrix is not None:
+            reward_matrix = lumped.project_statewise(reward_matrix)
+
+    block_result = evaluate_grid_block(
+        chain,
+        group.times,
+        initial_block,
+        rewards_matrix=reward_matrix,
+        distributions=need_distributions,
+        instantaneous=need_instantaneous,
+        cumulative=need_cumulative,
+        epsilon=group.epsilon,
+        stats=engine_stats,
+    )
+
+    lumped_states = lumped.num_blocks if lumped is not None else None
+    for member, rows, column in zip(group.members, member_rows, member_columns):
+        kind = member.kind
+        if kind is MeasureKind.TRANSIENT:
+            values = block_result.distributions[rows]
+        elif kind is MeasureKind.REACHABILITY:
+            values = np.clip(block_result.instantaneous[rows][:, :, column], 0.0, 1.0)
+        elif kind is MeasureKind.INSTANTANEOUS_REWARD:
+            values = block_result.instantaneous[rows][:, :, column]
+        else:  # CUMULATIVE_REWARD
+            values = block_result.cumulative[rows][:, :, column]
+        results[member.index] = MeasureResult(
+            request=member.request,
+            times=member.times.copy(),
+            values=values,
+            group_index=group_index,
+            lumped_states=lumped_states,
+            _squeeze=member.squeeze,
+        )
+
+
+# ----------------------------------------------------------------------
+# interval-until groups: backward [a, t] phase, then forward [0, a] phase
+# ----------------------------------------------------------------------
+def _execute_interval_group(
+    group: ExecutionGroup,
+    group_index: int,
+    results: list[MeasureResult | None],
+    engine_stats: UniformizationStats | None,
+) -> None:
+    first = group.members[0]
+    target_mask = first.target_mask
+    safe_mask = first.safe_mask
+    lower = float(first.request.lower)
+    base = group.chain
+    times = group.times
+
+    # Phase 2 (backward): per-state P[ safe U^{<= t-a} target ] on the chain
+    # with decided states absorbed, for every residual horizon of the grid.
+    absorbing = target_mask | ~(safe_mask | target_mask)
+    transformed = base.make_absorbing(np.flatnonzero(absorbing))
+    horizons = np.maximum(times - lower, 0.0)
+    unique_horizons, inverse = np.unique(horizons, return_inverse=True)
+    per_state = np.empty((unique_horizons.shape[0], base.num_states))
+    indicator = target_mask.astype(float)
+    positive = np.flatnonzero(unique_horizons > 0.0)
+    if positive.size and transformed.max_exit_rate > 0.0:
+        probabilities, q2 = transformed.uniformized_matrix()
+        windows = [
+            fox_glynn(q2 * float(unique_horizons[i]), group.epsilon) for i in positive
+        ]
+        mixtures, _ = poisson_mixture_sweep(
+            probabilities, indicator, windows, stats=engine_stats
+        )
+        for window_index, horizon_index in enumerate(positive):
+            per_state[horizon_index] = np.clip(mixtures[window_index], 0.0, 1.0)
+        zero_horizons = np.flatnonzero(unique_horizons == 0.0)
+    else:
+        zero_horizons = np.arange(unique_horizons.shape[0])
+    per_state[zero_horizons] = indicator
+
+    # Phase 1 (forward): evolve every initial distribution through the
+    # safe-restricted chain for time a, then weigh it against the phase-2
+    # value vectors — one instantaneous-reward sweep with T reward columns.
+    # The planner routes a = 0 to the plain reachability path, so here a > 0
+    # and zeroing the non-safe rows is sound: a path sitting in a non-safe
+    # state strictly before time a has already failed the until formula.
+    initial_pool = _ColumnPool()
+    member_rows = [
+        [initial_pool.add(row) for row in member.initials] for member in group.members
+    ]
+    initial_block = initial_pool.stack()
+    value_columns = per_state[inverse].T  # (num_states, len(times))
+    blocked = ~safe_mask
+    value_columns = np.where(blocked[:, None], 0.0, value_columns)
+
+    restricted = base.make_absorbing(np.flatnonzero(blocked))
+    phase1 = evaluate_grid_block(
+        restricted,
+        np.array([lower]),
+        initial_block,
+        rewards_matrix=value_columns,
+        distributions=False,
+        instantaneous=True,
+        epsilon=group.epsilon,
+        stats=engine_stats,
+    )
+    per_initial = np.clip(phase1.instantaneous[:, 0, :], 0.0, 1.0)
+
+    for member, rows in zip(group.members, member_rows):
+        results[member.index] = MeasureResult(
+            request=member.request,
+            times=member.times.copy(),
+            values=per_initial[rows],
+            group_index=group_index,
+            lumped_states=None,
+            _squeeze=member.squeeze,
+        )

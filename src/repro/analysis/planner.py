@@ -1,0 +1,281 @@
+"""Planning: group compatible measure requests into shared sweeps.
+
+Two requests can ride the same uniformization sweep exactly when they walk
+the same vector-power sequence, i.e. when they agree on
+
+* the operating chain — the request's chain after the measure-specific
+  transformation (reachability absorbs its decided states), compared by
+  *identity* of the base chain plus the transformation signature,
+* the uniformization rate (derived from the operating chain),
+* the time grid (bit-for-bit), and
+* the truncation error ``epsilon``.
+
+Requests that differ in any of these are never merged; requests that agree
+may still differ in initial distributions and reward vectors, which the
+executor stacks into the sweep's batch axes.
+
+The planner can additionally run ordinary lumpability
+(:mod:`repro.ctmc.lumping`) on each group's operating chain before the
+sweep (``lump=True``).  The lumping partition is seeded with exactly the
+vectors the group's requests observe — target indicator vectors and reward
+vectors — so every observable is block-constant and the quotient preserves
+all requested measures; the (typically much smaller) quotient chain then
+shrinks every product of the sweep.  Groups containing ``TRANSIENT``
+requests are never lumped (their full distributions live on the original
+state space), and neither are interval-until groups (they sweep two
+different transformed chains).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import sparse
+
+from repro.ctmc.ctmc import CTMC, CTMCError
+from repro.ctmc.lumping import lump_ctmc, lumping_partition
+from repro.ctmc.uniformization import DEFAULT_EPSILON
+from repro.analysis.requests import (
+    REACHABILITY_KINDS,
+    REWARD_KINDS,
+    MeasureKind,
+    MeasureRequest,
+)
+
+
+@dataclass
+class PlannedRequest:
+    """A validated request with its derived vectors, ready for execution."""
+
+    index: int
+    request: MeasureRequest
+    kind: MeasureKind  # effective kind (U[0,t] is planned as plain reachability)
+    times: np.ndarray
+    initials: np.ndarray  # (num_initials, num_states) on the original chain
+    squeeze: bool
+    target_mask: np.ndarray | None = None
+    safe_mask: np.ndarray | None = None
+    rewards: np.ndarray | None = None
+
+
+@dataclass
+class LumpedChain:
+    """A quotient chain plus the projections needed to use it."""
+
+    quotient: CTMC
+    partition: np.ndarray  # (num_states,) block index per state
+    representatives: np.ndarray  # (num_blocks,) one member state per block
+    aggregation: sparse.csr_matrix  # (num_blocks, num_states) 0/1 matrix
+
+    @property
+    def num_blocks(self) -> int:
+        return self.quotient.num_states
+
+    def project_distributions(self, block: np.ndarray) -> np.ndarray:
+        """Sum each distribution's mass per quotient block: ``(B, n) -> (B, n')``."""
+        return np.ascontiguousarray((self.aggregation @ block.T).T)
+
+    def project_statewise(self, vector: np.ndarray) -> np.ndarray:
+        """Restrict a block-constant state vector to one value per block."""
+        return vector[self.representatives]
+
+
+@dataclass
+class ExecutionGroup:
+    """Requests that will share one uniformization sweep."""
+
+    chain: CTMC  # the operating chain (after the absorbing transform)
+    rate: float
+    times: np.ndarray
+    epsilon: float
+    members: list[PlannedRequest] = field(default_factory=list)
+    interval: bool = False
+    lumped: LumpedChain | None = None
+
+
+@dataclass
+class ExecutionPlan:
+    """The grouping the session will execute."""
+
+    groups: list[ExecutionGroup]
+    num_requests: int
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+
+def _normalise(request: MeasureRequest, index: int) -> PlannedRequest:
+    times = np.asarray(request.times, dtype=float)
+    if times.ndim != 1:
+        raise CTMCError("time grid must be one-dimensional")
+    if not np.all(np.isfinite(times)):
+        raise CTMCError("time points must be finite")
+    if np.any(times < 0):
+        raise CTMCError("time points must be non-negative")
+    initials, squeeze = request.initial_block()
+    kind = request.kind
+    if kind is MeasureKind.INTERVAL_REACHABILITY:
+        if request.lower < 0:
+            raise CTMCError("interval lower bound must be non-negative")
+        if times.size and float(times.min()) < request.lower - 1e-12:
+            raise CTMCError(
+                "interval-until grid points must not lie below the lower bound"
+            )
+        if request.lower == 0.0:
+            # U[0, t] is the plain bounded until: plan it as REACHABILITY so
+            # it shares regular groups (and gets the correct CSL semantics —
+            # target states outside `safe` still count as immediate wins).
+            kind = MeasureKind.REACHABILITY
+    elif request.lower:
+        raise CTMCError(
+            f"lower bound only applies to interval reachability, not {request.kind.value}"
+        )
+    planned = PlannedRequest(
+        index=index,
+        request=request,
+        kind=kind,
+        times=times,
+        initials=initials,
+        squeeze=squeeze,
+    )
+    if kind in REACHABILITY_KINDS:
+        planned.target_mask = request.target_mask()
+        planned.safe_mask = request.safe_mask()
+    if kind in REWARD_KINDS:
+        planned.rewards = request.reward_vector()
+    return planned
+
+
+def build_plan(
+    requests: Sequence[MeasureRequest],
+    *,
+    lump: bool = False,
+    batched: bool = True,
+    default_epsilon: float = DEFAULT_EPSILON,
+) -> ExecutionPlan:
+    """Group ``requests`` into execution groups (see module docstring).
+
+    With ``batched=False`` every request is placed in its own group — the
+    per-curve behaviour of the pre-session API, kept for comparison runs
+    and the CLI's ``--no-batched`` flag.
+    """
+    groups: dict[tuple, ExecutionGroup] = {}
+    transformed_cache: dict[tuple[int, bytes], CTMC] = {}
+
+    for index, request in enumerate(requests):
+        planned = _normalise(request, index)
+        epsilon = request.epsilon if request.epsilon is not None else default_epsilon
+        base = request.chain
+
+        interval = planned.kind is MeasureKind.INTERVAL_REACHABILITY
+        if planned.kind is MeasureKind.REACHABILITY:
+            absorbing = planned.target_mask | ~(planned.safe_mask | planned.target_mask)
+            transform_token = absorbing.tobytes()
+            cache_key = (id(base), transform_token)
+            operating = transformed_cache.get(cache_key)
+            if operating is None:
+                operating = base.make_absorbing(absorbing)
+                transformed_cache[cache_key] = operating
+        elif interval:
+            # Interval-until groups sweep two transformed chains; members are
+            # merged only when they agree on the full (safe, target, lower)
+            # signature, so the executor can batch their initials.
+            operating = base
+            transform_token = b"".join(
+                (
+                    b"interval",
+                    planned.target_mask.tobytes(),
+                    planned.safe_mask.tobytes(),
+                    np.float64(request.lower).tobytes(),
+                )
+            )
+        else:
+            operating = base
+            transform_token = b""
+
+        key = (
+            id(base),
+            transform_token,
+            float(operating.max_exit_rate),
+            planned.times.tobytes(),
+            float(epsilon),
+        )
+        if not batched:
+            key = key + (index,)
+
+        group = groups.get(key)
+        if group is None:
+            group = ExecutionGroup(
+                chain=operating,
+                rate=float(operating.max_exit_rate),
+                times=planned.times,
+                epsilon=float(epsilon),
+                interval=interval,
+            )
+            groups[key] = group
+        group.members.append(planned)
+
+    plan = ExecutionPlan(groups=list(groups.values()), num_requests=len(requests))
+    if lump:
+        for group in plan.groups:
+            group.lumped = _lump_group(group)
+    return plan
+
+
+# ----------------------------------------------------------------------
+# lumping glue
+# ----------------------------------------------------------------------
+def _lump_group(group: ExecutionGroup) -> LumpedChain | None:
+    """Build the quotient of a group's operating chain, if worthwhile.
+
+    The initial partition is seeded with one state-class per distinct value
+    of every observable vector of the group (target indicators and reward
+    vectors), so the refined partition keeps all of them block-constant.
+    Initial distributions need no seeding: ordinary lumpability holds for
+    arbitrary initial distributions, which simply project blockwise.
+    """
+    if group.interval:
+        return None
+    observables: list[np.ndarray] = []
+    for member in group.members:
+        if member.kind is MeasureKind.TRANSIENT:
+            return None  # full distributions live on the original states
+        if member.target_mask is not None:
+            observables.append(member.target_mask.astype(float))
+        if member.rewards is not None:
+            observables.append(member.rewards)
+
+    labels: dict[str, np.ndarray] = {}
+    for observable_index, vector in enumerate(observables):
+        _, classes = np.unique(vector, return_inverse=True)
+        for class_index in range(int(classes.max()) + 1):
+            labels[f"obs{observable_index}c{class_index}"] = classes == class_index
+
+    bare = CTMC(
+        group.chain.rate_matrix,
+        group.chain.initial_distribution,
+        labels=labels,
+    )
+    partition = np.asarray(lumping_partition(bare), dtype=int)
+    num_blocks = int(partition.max()) + 1 if partition.size else 0
+    if num_blocks >= bare.num_states:
+        return None  # nothing collapsed; the quotient would only add overhead
+
+    quotient, _ = lump_ctmc(bare, partition.tolist(), respect_initial=False)
+    num_states = bare.num_states
+    representatives = np.full(num_blocks, -1, dtype=int)
+    seen_first = np.unique(partition, return_index=True)
+    representatives[seen_first[0]] = seen_first[1]
+    aggregation = sparse.csr_matrix(
+        (np.ones(num_states), (partition, np.arange(num_states))),
+        shape=(num_blocks, num_states),
+    )
+    return LumpedChain(
+        quotient=quotient,
+        partition=partition,
+        representatives=representatives,
+        aggregation=aggregation,
+    )

@@ -1,0 +1,164 @@
+"""The batched analysis session: plan once, sweep once per group.
+
+:class:`AnalysisSession` is the front door of the batch architecture.
+Callers declare :class:`~repro.analysis.requests.MeasureRequest` objects
+(``add``/``request``), then ``execute()`` plans them into groups that share
+a (chain, uniformization rate, grid, epsilon) signature and dispatches each
+group as a single uniformization sweep — a whole figure family of the paper
+(five repair strategies × disasters × service levels) costs one sweep per
+distinct transformed chain instead of one per curve.
+
+A quick example — both Figure-4 curves of one strategy in one plan::
+
+    session = AnalysisSession()
+    for disaster in ("disaster1", "disaster2"):
+        session.request(
+            chain,
+            times,
+            kind=MeasureKind.REACHABILITY,
+            target=recovered_states,
+            initial_distributions=space.initial_distribution_for_disaster(disaster),
+            tag=disaster,
+        )
+    results = session.execute()      # one sweep: both disasters share it
+    print(session.stats.summary())
+
+The session records what it did in :class:`SessionStats` (groups, sweeps,
+matvec/flop counters, lumping compression), which the CLI prints and the
+benchmarks gate on.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.ctmc.uniformization import DEFAULT_EPSILON, UniformizationStats
+from repro.analysis.executor import execute_plan
+from repro.analysis.planner import ExecutionPlan, build_plan
+from repro.analysis.requests import MeasureRequest, MeasureResult
+
+
+@dataclass
+class SessionStats:
+    """Work counters aggregated over one or more ``execute()`` calls.
+
+    ``matvecs``/``applies``/``sparse_flops``/``sweeps`` follow the engine's
+    conventions (see
+    :class:`repro.ctmc.uniformization.UniformizationStats`); the lumping
+    counters record how many groups ran on a quotient chain and how much
+    state space that removed.
+    """
+
+    requests: int = 0
+    groups: int = 0
+    sweeps: int = 0
+    matvecs: int = 0
+    applies: int = 0
+    sparse_flops: int = 0
+    lumped_groups: int = 0
+    lumped_states_before: int = 0
+    lumped_states_after: int = 0
+
+    def absorb_engine(self, engine: UniformizationStats) -> None:
+        self.sweeps += engine.sweeps
+        self.matvecs += engine.matvecs
+        self.applies += engine.applies
+        self.sparse_flops += engine.sparse_flops
+
+    def summary(self) -> str:
+        """One line for CLI output and logs."""
+        parts = [
+            f"requests={self.requests}",
+            f"groups={self.groups}",
+            f"sweeps={self.sweeps}",
+            f"matvecs={self.matvecs}",
+            f"applies={self.applies}",
+            f"sparse_flops={self.sparse_flops}",
+        ]
+        if self.lumped_groups:
+            parts.append(
+                f"lumped {self.lumped_groups} groups "
+                f"({self.lumped_states_before}->{self.lumped_states_after} states)"
+            )
+        return "session: " + " ".join(parts)
+
+
+class AnalysisSession:
+    """Collect measure requests, plan shared sweeps, execute them.
+
+    Parameters
+    ----------
+    lump:
+        Run ordinary lumpability on each group's operating chain before
+        sweeping (quotient preserves every requested measure; see
+        :func:`repro.analysis.planner._lump_group`).
+    batched:
+        With ``False``, every request is planned into its own group — the
+        per-curve behaviour of the legacy API, kept for comparison runs.
+    epsilon:
+        Default Poisson-truncation error for requests that do not set one.
+    stats:
+        Optional shared :class:`SessionStats`; several sessions (e.g. all
+        experiments of one CLI invocation) may accumulate into one object.
+    """
+
+    def __init__(
+        self,
+        *,
+        lump: bool = False,
+        batched: bool = True,
+        epsilon: float = DEFAULT_EPSILON,
+        stats: SessionStats | None = None,
+    ) -> None:
+        self.lump = lump
+        self.batched = batched
+        self.default_epsilon = float(epsilon)
+        self.stats = stats if stats is not None else SessionStats()
+        self._requests: list[MeasureRequest] = []
+
+    # ------------------------------------------------------------------
+    def add(self, request: MeasureRequest) -> int:
+        """Register a request; returns its index into ``execute()``'s result list."""
+        self._requests.append(request)
+        return len(self._requests) - 1
+
+    def extend(self, requests: Iterable[MeasureRequest]) -> list[int]:
+        """Register several requests at once."""
+        return [self.add(request) for request in requests]
+
+    def request(self, chain, times, **fields) -> int:
+        """Build a :class:`MeasureRequest` from keyword fields and register it."""
+        return self.add(MeasureRequest(chain=chain, times=times, **fields))
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    @property
+    def requests(self) -> tuple[MeasureRequest, ...]:
+        return tuple(self._requests)
+
+    # ------------------------------------------------------------------
+    def plan(self) -> ExecutionPlan:
+        """Group the registered requests without executing them."""
+        return build_plan(
+            self._requests,
+            lump=self.lump,
+            batched=self.batched,
+            default_epsilon=self.default_epsilon,
+        )
+
+    def execute(self) -> list[MeasureResult]:
+        """Plan and run all registered requests; results in registration order."""
+        plan = self.plan()
+        engine = UniformizationStats()
+        results = execute_plan(plan, engine_stats=engine)
+        self.stats.requests += plan.num_requests
+        self.stats.groups += plan.num_groups
+        self.stats.absorb_engine(engine)
+        for group in plan.groups:
+            if group.lumped is not None:
+                self.stats.lumped_groups += 1
+                self.stats.lumped_states_before += group.chain.num_states
+                self.stats.lumped_states_after += group.lumped.num_blocks
+        return results

@@ -4,6 +4,17 @@ Every function returns a small result object carrying the raw numbers plus
 ``to_text()`` / ``to_csv()`` renderings, so the same code serves the
 command-line front end, the benchmark harness and EXPERIMENTS.md.
 
+Each figure-family function submits its *whole* curve family — every repair
+strategy, disaster and service level of the figure pair — as one
+:class:`repro.analysis.AnalysisSession`, so compatible curves share
+uniformization sweeps (one per distinct (chain, rate, grid) group) instead
+of re-traversing the chain per curve.  The keyword-only ``lump``,
+``batched`` and ``stats`` parameters thread the session configuration
+through from the CLI: ``lump=True`` solves each group on its ordinary-
+lumpability quotient, ``batched=False`` restores the legacy one-sweep-per-
+curve planning, and a shared :class:`repro.analysis.SessionStats` collects
+work counters across experiments.
+
 State spaces are expensive to rebuild, so :func:`line_state_space` caches
 them per (line, strategy, crews) combination for the lifetime of the
 process; :func:`clear_cache` empties the cache (used by benchmarks that want
@@ -17,6 +28,7 @@ from fractions import Fraction
 
 import numpy as np
 
+from repro.analysis import AnalysisSession, SessionStats
 from repro.arcade.repair import RepairStrategy
 from repro.arcade.statespace import ArcadeStateSpace, build_state_space
 from repro.casestudy.facility import (
@@ -30,12 +42,12 @@ from repro.casestudy.facility import (
 )
 from repro.casestudy.reporting import ascii_plot, curves_to_csv, format_table
 from repro.measures import (
-    accumulated_cost_curve,
+    accumulated_cost_request,
     combined_availability,
-    instantaneous_cost_curve,
-    reliability_curve,
+    instantaneous_cost_request,
     steady_state_availability,
-    survivability_curve,
+    survivability_request,
+    unreliability_request,
 )
 
 # ---------------------------------------------------------------------------
@@ -177,16 +189,37 @@ def table2_availability(
 # ---------------------------------------------------------------------------
 # Figure 3 — reliability over time
 # ---------------------------------------------------------------------------
-def figure3_reliability(horizon: float = 1000.0, points: int = 101) -> CurveResult:
-    """Reliability of both lines over ``[0, horizon]`` hours (no repairs)."""
+def figure3_reliability(
+    horizon: float = 1000.0,
+    points: int = 101,
+    *,
+    lump: bool = False,
+    batched: bool = True,
+    stats: SessionStats | None = None,
+) -> CurveResult:
+    """Reliability of both lines over ``[0, horizon]`` hours (no repairs).
+
+    Both lines' unreliability curves are submitted as one analysis session
+    (one sweep per line — the lines are different chains).
+    """
     configuration = StrategyConfiguration(RepairStrategy.DEDICATED, 1)
-    series: dict[str, np.ndarray] = {}
-    times = None
-    for line, label in ((LINE1, "line1"), (LINE2, "line2")):
-        space = line_state_space(line, configuration, with_repairs=False)
-        times, values = reliability_curve(space, horizon, points)
-        series[label] = np.asarray(values)
-    assert times is not None
+    times = np.linspace(0.0, horizon, points)
+    session = AnalysisSession(lump=lump, batched=batched, stats=stats)
+    indices = {
+        label: session.add(
+            unreliability_request(
+                line_state_space(line, configuration, with_repairs=False),
+                times,
+                tag=label,
+            )
+        )
+        for line, label in ((LINE1, "line1"), (LINE2, "line2"))
+    }
+    results = session.execute()
+    series = {
+        label: 1.0 - np.asarray(results[index].squeezed)
+        for label, index in indices.items()
+    }
     return CurveResult(
         title="Figure 3: reliability over time (no repairs)",
         times=times,
@@ -212,39 +245,69 @@ def _line_service_interval_lower(line: str, interval_index: int) -> Fraction:
     return intervals[interval_index][0]
 
 
-def _survivability_figure(
+def _survivability_figures(
     line: str,
     disaster: str,
-    interval_index: int,
+    interval_indices: tuple[int, ...],
     configurations: tuple[StrategyConfiguration, ...],
     horizon: float,
     points: int,
-    title: str,
-) -> CurveResult:
-    threshold = _line_service_interval_lower(line, interval_index)
-    series: dict[str, np.ndarray] = {}
-    times = None
-    for configuration in configurations:
-        space = line_state_space(line, configuration)
-        times, values = survivability_curve(space, disaster, threshold, horizon, points)
-        series[configuration.label] = np.asarray(values)
-    assert times is not None
-    return CurveResult(title=title, times=times, series=series, y_label="P(recovered)")
+    titles: tuple[str, ...],
+    lump: bool,
+    batched: bool,
+    stats: SessionStats | None,
+) -> tuple[CurveResult, ...]:
+    """Build a figure pair's full curve family and run it as one session.
+
+    Every (service interval × strategy) curve of the pair becomes one
+    request; the planner merges requests that agree on (chain, rate, grid) —
+    e.g. several disasters of one strategy — into shared sweeps.
+    """
+    times = np.linspace(0.0, horizon, points)
+    session = AnalysisSession(lump=lump, batched=batched, stats=stats)
+    indices: dict[tuple[int, str], int] = {}
+    for interval_index in interval_indices:
+        threshold = _line_service_interval_lower(line, interval_index)
+        for configuration in configurations:
+            space = line_state_space(line, configuration)
+            indices[(interval_index, configuration.label)] = session.add(
+                survivability_request(
+                    space, disaster, threshold, times,
+                    tag=(interval_index, configuration.label),
+                )
+            )
+    results = session.execute()
+    figures = []
+    for title, interval_index in zip(titles, interval_indices):
+        series = {
+            configuration.label: np.asarray(
+                results[indices[(interval_index, configuration.label)]].squeezed
+            )
+            for configuration in configurations
+        }
+        figures.append(
+            CurveResult(title=title, times=times, series=series, y_label="P(recovered)")
+        )
+    return tuple(figures)
 
 
 def figure4_5_survivability_line1(
-    horizon: float = 4.5, points: int = 91
+    horizon: float = 4.5,
+    points: int = 91,
+    *,
+    lump: bool = False,
+    batched: bool = True,
+    stats: SessionStats | None = None,
 ) -> tuple[CurveResult, CurveResult]:
     """Figures 4 and 5: recovery of Line 1 to X1 and X2 after Disaster 1."""
-    figure4 = _survivability_figure(
-        LINE1, DISASTER_1, 0, _LINE1_SURVIVABILITY_STRATEGIES, horizon, points,
-        "Figure 4: survivability Line 1, Disaster 1, service interval X1",
+    return _survivability_figures(
+        LINE1, DISASTER_1, (0, 1), _LINE1_SURVIVABILITY_STRATEGIES, horizon, points,
+        (
+            "Figure 4: survivability Line 1, Disaster 1, service interval X1",
+            "Figure 5: survivability Line 1, Disaster 1, service interval X2",
+        ),
+        lump, batched, stats,
     )
-    figure5 = _survivability_figure(
-        LINE1, DISASTER_1, 1, _LINE1_SURVIVABILITY_STRATEGIES, horizon, points,
-        "Figure 5: survivability Line 1, Disaster 1, service interval X2",
-    )
-    return figure4, figure5
 
 
 # ---------------------------------------------------------------------------
@@ -258,31 +321,52 @@ def _cost_figures(
     accumulated_horizon: float,
     points: int,
     titles: tuple[str, str],
+    lump: bool,
+    batched: bool,
+    stats: SessionStats | None,
 ) -> tuple[CurveResult, CurveResult]:
-    instantaneous_series: dict[str, np.ndarray] = {}
-    accumulated_series: dict[str, np.ndarray] = {}
-    instantaneous_times = accumulated_times = None
+    """Both cost curves of every strategy, submitted as one session.
+
+    Each strategy contributes an instantaneous-cost and an accumulated-cost
+    request on its chain; requests with equal grids share that chain's
+    sweep.
+    """
+    instantaneous_times = np.linspace(0.0, instantaneous_horizon, points)
+    accumulated_times = np.linspace(0.0, accumulated_horizon, max(2, points // 2))
+    session = AnalysisSession(lump=lump, batched=batched, stats=stats)
+    instantaneous_indices: dict[str, int] = {}
+    accumulated_indices: dict[str, int] = {}
     for configuration in configurations:
         space = line_state_space(line, configuration)
-        instantaneous_times, instantaneous_values = instantaneous_cost_curve(
-            space, instantaneous_horizon, disaster, points
+        instantaneous_indices[configuration.label] = session.add(
+            instantaneous_cost_request(
+                space, instantaneous_times, disaster,
+                tag=("instantaneous", configuration.label),
+            )
         )
-        accumulated_times, accumulated_values = accumulated_cost_curve(
-            space, accumulated_horizon, disaster, max(2, points // 2)
+        accumulated_indices[configuration.label] = session.add(
+            accumulated_cost_request(
+                space, accumulated_times, disaster,
+                tag=("accumulated", configuration.label),
+            )
         )
-        instantaneous_series[configuration.label] = np.asarray(instantaneous_values)
-        accumulated_series[configuration.label] = np.asarray(accumulated_values)
-    assert instantaneous_times is not None and accumulated_times is not None
+    results = session.execute()
     instantaneous = CurveResult(
         title=titles[0],
         times=instantaneous_times,
-        series=instantaneous_series,
+        series={
+            label: np.asarray(results[index].squeezed)
+            for label, index in instantaneous_indices.items()
+        },
         y_label="cost per hour",
     )
     accumulated = CurveResult(
         title=titles[1],
         times=accumulated_times,
-        series=accumulated_series,
+        series={
+            label: np.asarray(results[index].squeezed)
+            for label, index in accumulated_indices.items()
+        },
         y_label="accumulated cost",
     )
     return instantaneous, accumulated
@@ -292,6 +376,10 @@ def figure6_7_costs_line1(
     instantaneous_horizon: float = 4.5,
     accumulated_horizon: float = 10.0,
     points: int = 46,
+    *,
+    lump: bool = False,
+    batched: bool = True,
+    stats: SessionStats | None = None,
 ) -> tuple[CurveResult, CurveResult]:
     """Figures 6 and 7: instantaneous and accumulated cost, Line 1, Disaster 1."""
     return _cost_figures(
@@ -305,6 +393,7 @@ def figure6_7_costs_line1(
             "Figure 6: instantaneous cost Line 1, Disaster 1",
             "Figure 7: accumulated cost Line 1, Disaster 1",
         ),
+        lump, batched, stats,
     )
 
 
@@ -312,18 +401,22 @@ def figure6_7_costs_line1(
 # Figures 8/9 — survivability, Line 2, Disaster 2
 # ---------------------------------------------------------------------------
 def figure8_9_survivability_line2(
-    horizon: float = 100.0, points: int = 101
+    horizon: float = 100.0,
+    points: int = 101,
+    *,
+    lump: bool = False,
+    batched: bool = True,
+    stats: SessionStats | None = None,
 ) -> tuple[CurveResult, CurveResult]:
     """Figures 8 and 9: recovery of Line 2 to X1 and X3 after Disaster 2."""
-    figure8 = _survivability_figure(
-        LINE2, DISASTER_2, 0, PAPER_STRATEGIES, horizon, points,
-        "Figure 8: survivability Line 2, Disaster 2, service interval X1",
+    return _survivability_figures(
+        LINE2, DISASTER_2, (0, 2), PAPER_STRATEGIES, horizon, points,
+        (
+            "Figure 8: survivability Line 2, Disaster 2, service interval X1",
+            "Figure 9: survivability Line 2, Disaster 2, service interval X3",
+        ),
+        lump, batched, stats,
     )
-    figure9 = _survivability_figure(
-        LINE2, DISASTER_2, 2, PAPER_STRATEGIES, horizon, points,
-        "Figure 9: survivability Line 2, Disaster 2, service interval X3",
-    )
-    return figure8, figure9
 
 
 # ---------------------------------------------------------------------------
@@ -341,6 +434,10 @@ def figure10_11_costs_line2(
     instantaneous_horizon: float = 50.0,
     accumulated_horizon: float = 50.0,
     points: int = 51,
+    *,
+    lump: bool = False,
+    batched: bool = True,
+    stats: SessionStats | None = None,
 ) -> tuple[CurveResult, CurveResult]:
     """Figures 10 and 11: instantaneous and accumulated cost, Line 2, Disaster 2."""
     return _cost_figures(
@@ -354,6 +451,7 @@ def figure10_11_costs_line2(
             "Figure 10: instantaneous cost Line 2, Disaster 2",
             "Figure 11: accumulated cost Line 2, Disaster 2",
         ),
+        lump, batched, stats,
     )
 
 
@@ -373,26 +471,41 @@ class ExperimentSuiteResult:
         return "\n\n".join(parts)
 
 
-def run_all_experiments(fast: bool = False) -> ExperimentSuiteResult:
+def run_all_experiments(
+    fast: bool = False,
+    *,
+    lump: bool = False,
+    batched: bool = True,
+    stats: SessionStats | None = None,
+) -> ExperimentSuiteResult:
     """Run every table and figure of the paper and return the results.
 
     With ``fast=True`` the time grids are coarser (used by smoke tests).
+    ``lump``/``batched`` configure the figure families' analysis sessions
+    and ``stats`` collects their work counters across the whole suite.
     """
     points = 21 if fast else 101
+    session_options = dict(lump=lump, batched=batched, stats=stats)
     result = ExperimentSuiteResult()
     result.tables["table1"] = table1_state_space()
     result.tables["table2"] = table2_availability()
-    result.figures["figure3"] = figure3_reliability(points=points)
-    figure4, figure5 = figure4_5_survivability_line1(points=max(points, 10))
+    result.figures["figure3"] = figure3_reliability(points=points, **session_options)
+    figure4, figure5 = figure4_5_survivability_line1(
+        points=max(points, 10), **session_options
+    )
     result.figures["figure4"] = figure4
     result.figures["figure5"] = figure5
-    figure6, figure7 = figure6_7_costs_line1(points=max(points // 2, 10))
+    figure6, figure7 = figure6_7_costs_line1(
+        points=max(points // 2, 10), **session_options
+    )
     result.figures["figure6"] = figure6
     result.figures["figure7"] = figure7
-    figure8, figure9 = figure8_9_survivability_line2(points=points)
+    figure8, figure9 = figure8_9_survivability_line2(points=points, **session_options)
     result.figures["figure8"] = figure8
     result.figures["figure9"] = figure9
-    figure10, figure11 = figure10_11_costs_line2(points=max(points // 2, 10))
+    figure10, figure11 = figure10_11_costs_line2(
+        points=max(points // 2, 10), **session_options
+    )
     result.figures["figure10"] = figure10
     result.figures["figure11"] = figure11
     return result

@@ -4,11 +4,21 @@ Usage examples::
 
     python -m repro table1 table2        # reproduce the two tables
     python -m repro fig3 --points 51     # reliability curves as CSV + ASCII
+    python -m repro fig4 fig5            # one shared analysis session
+    python -m repro fig8 --lump          # solve on lumped quotient chains
     python -m repro all --fast           # everything, on coarse grids
     python -m repro all --output results # also write CSV files per experiment
 
 Every experiment name matches the table/figure numbering of the paper; see
 DESIGN.md for the experiment index.
+
+Paired figures (fig4/fig5, fig6/fig7, fig8/fig9, fig10/fig11) come from one
+*family* computation: requesting both members in a single invocation runs
+the family — and its batched analysis session — exactly once.  The session
+work counters (groups, sweeps, matvecs, lumping compression) are printed at
+the end of every run that computed figures; ``--no-batched`` plans one
+sweep per curve (the legacy behaviour) for comparison, and ``--lump``
+solves every group on its ordinary-lumpability quotient.
 """
 
 from __future__ import annotations
@@ -17,21 +27,44 @@ import argparse
 import sys
 from pathlib import Path
 
+from repro.analysis import SessionStats
 from repro.casestudy import experiments as exp
 
-#: Experiment name -> callable returning one result or a tuple of results.
+#: Family name -> callable(points, lump, batched, stats) returning the
+#: family's result tuple.  Each family runs at most once per invocation.
+_FAMILIES = {
+    "table1": lambda points, lump, batched, stats: (exp.table1_state_space(),),
+    "table2": lambda points, lump, batched, stats: (exp.table2_availability(),),
+    "fig3": lambda points, lump, batched, stats: (
+        exp.figure3_reliability(points=points, lump=lump, batched=batched, stats=stats),
+    ),
+    "fig45": lambda points, lump, batched, stats: exp.figure4_5_survivability_line1(
+        points=points, lump=lump, batched=batched, stats=stats
+    ),
+    "fig67": lambda points, lump, batched, stats: exp.figure6_7_costs_line1(
+        points=points, lump=lump, batched=batched, stats=stats
+    ),
+    "fig89": lambda points, lump, batched, stats: exp.figure8_9_survivability_line2(
+        points=points, lump=lump, batched=batched, stats=stats
+    ),
+    "fig1011": lambda points, lump, batched, stats: exp.figure10_11_costs_line2(
+        points=points, lump=lump, batched=batched, stats=stats
+    ),
+}
+
+#: Experiment name -> (family name, index into the family's result tuple).
 _EXPERIMENTS = {
-    "table1": lambda points: exp.table1_state_space(),
-    "table2": lambda points: exp.table2_availability(),
-    "fig3": lambda points: exp.figure3_reliability(points=points),
-    "fig4": lambda points: exp.figure4_5_survivability_line1(points=points)[0],
-    "fig5": lambda points: exp.figure4_5_survivability_line1(points=points)[1],
-    "fig6": lambda points: exp.figure6_7_costs_line1(points=points)[0],
-    "fig7": lambda points: exp.figure6_7_costs_line1(points=points)[1],
-    "fig8": lambda points: exp.figure8_9_survivability_line2(points=points)[0],
-    "fig9": lambda points: exp.figure8_9_survivability_line2(points=points)[1],
-    "fig10": lambda points: exp.figure10_11_costs_line2(points=points)[0],
-    "fig11": lambda points: exp.figure10_11_costs_line2(points=points)[1],
+    "table1": ("table1", 0),
+    "table2": ("table2", 0),
+    "fig3": ("fig3", 0),
+    "fig4": ("fig45", 0),
+    "fig5": ("fig45", 1),
+    "fig6": ("fig67", 0),
+    "fig7": ("fig67", 1),
+    "fig8": ("fig89", 0),
+    "fig9": ("fig89", 1),
+    "fig10": ("fig1011", 0),
+    "fig11": ("fig1011", 1),
 }
 
 
@@ -59,6 +92,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--fast",
         action="store_true",
         help="use coarse time grids (quick smoke run)",
+    )
+    parser.add_argument(
+        "--batched",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "plan each figure family as one analysis session with shared sweeps "
+            "(--no-batched restores one sweep per curve)"
+        ),
+    )
+    parser.add_argument(
+        "--lump",
+        action=argparse.BooleanOptionalAction,
+        default=False,
+        help=(
+            "run ordinary-lumpability reduction on every analysis group before "
+            "sweeping (quotient chains preserve all requested measures)"
+        ),
     )
     parser.add_argument(
         "--output",
@@ -96,10 +147,18 @@ def main(argv: list[str] | None = None) -> int:
     points = args.points if args.points is not None else (21 if args.fast else 101)
 
     names = list(_EXPERIMENTS) if "all" in args.experiments else list(dict.fromkeys(args.experiments))
+    stats = SessionStats()
+    family_results: dict[str, tuple] = {}
     for name in names:
-        result = _EXPERIMENTS[name](points)
-        print(_render(name, result, args))
+        family, index = _EXPERIMENTS[name]
+        if family not in family_results:
+            family_results[family] = _FAMILIES[family](
+                points, args.lump, args.batched, stats
+            )
+        print(_render(name, family_results[family][index], args))
         print()
+    if stats.requests:
+        print(f"[{stats.summary()}]")
     return 0
 
 

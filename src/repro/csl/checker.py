@@ -6,7 +6,10 @@ The checker maps every operator of the logic onto the numerical routines of
 =========================  ==================================================
 operator                    routine
 =========================  ==================================================
-``P=? [ phi U<=t psi ]``    :func:`repro.ctmc.transient.time_bounded_reachability_per_state`
+``P=? [ phi U<=t psi ]``    a one-request :class:`repro.analysis.AnalysisSession`
+                            under the initial distribution;
+                            :func:`repro.ctmc.transient.time_bounded_reachability_per_state`
+                            for per-state vectors
 ``P=? [ phi U psi ]``       :func:`repro.ctmc.dtmc.unbounded_reachability`
 ``P=? [ X phi ]``           one-step probabilities of the embedded DTMC
 ``S=? [ phi ]``             :func:`repro.ctmc.steady_state.steady_state_distribution`
@@ -70,6 +73,12 @@ class ModelChecker:
             formula = parse_formula(formula)
         initial = self._chain.initial_distribution
         if isinstance(formula, F.ProbabilityQuery):
+            if isinstance(formula.path, F.BoundedUntil):
+                # Evaluated under the initial distribution, the (interval)
+                # bounded until is a forward measure: submit it as a
+                # one-request analysis session instead of solving for every
+                # start state backwards.
+                return self._bounded_until_from_initial(formula.path)
             return float(initial @ self._path_probabilities(formula.path))
         if isinstance(formula, F.SteadyStateQuery):
             mask = self._state_mask(formula.state_formula)
@@ -151,6 +160,38 @@ class ModelChecker:
                 inner = F.BoundedUntil(F.TrueFormula(), negated, path.upper)
             return 1.0 - self._path_probabilities(inner)
         raise CSLCheckError(f"unsupported path formula {path!r}")
+
+    def _bounded_until_from_initial(self, path: F.BoundedUntil) -> float:
+        """``P=? [ left U[a,b] right ]`` under the initial distribution.
+
+        Thin wrapper over a one-request :class:`repro.analysis.AnalysisSession`
+        (kind ``REACHABILITY`` for ``a = 0``, ``INTERVAL_REACHABILITY``
+        otherwise); the per-state vector of :meth:`check_states` keeps using
+        the backward recursion.
+        """
+        from repro.analysis import AnalysisSession, MeasureKind
+
+        left = self._state_mask(path.left)
+        right = self._state_mask(path.right)
+        session = AnalysisSession(epsilon=self._epsilon)
+        if path.lower == 0.0:
+            index = session.request(
+                self._chain,
+                [path.upper],
+                kind=MeasureKind.REACHABILITY,
+                target=right,
+                safe=left,
+            )
+        else:
+            index = session.request(
+                self._chain,
+                [path.upper],
+                kind=MeasureKind.INTERVAL_REACHABILITY,
+                target=right,
+                safe=left,
+                lower=path.lower,
+            )
+        return float(session.execute()[index].squeezed[0])
 
     def _bounded_until(self, path: F.BoundedUntil) -> np.ndarray:
         left = self._state_mask(path.left)

@@ -53,6 +53,26 @@ def _normalise_distribution(
     return np.clip(vector, 0.0, None)
 
 
+def as_state_mask(chain: "CTMC", states: Iterable[int] | np.ndarray | str) -> np.ndarray:
+    """Normalise a state set given as label name, index list or boolean mask.
+
+    The canonical helper shared by the transient/reachability routines and
+    the analysis-session request layer.
+    """
+    if isinstance(states, str):
+        return chain.label_mask(states)
+    array = np.asarray(list(states) if not isinstance(states, np.ndarray) else states)
+    mask = np.zeros(chain.num_states, dtype=bool)
+    if array.size == 0:
+        return mask
+    if array.dtype == bool:
+        if array.shape != (chain.num_states,):
+            raise CTMCError("boolean state mask has the wrong length")
+        return array.copy()
+    mask[array.astype(int)] = True
+    return mask
+
+
 @dataclass(frozen=True)
 class RewardStructure:
     """A reward structure over a CTMC.

@@ -20,10 +20,12 @@ Accumulated rewards are computed with the uniformization identity
 
 where ``P`` is the uniformized DTMC and ``N_{qt}`` a Poisson variable with
 mean ``q·t`` — the same machinery (and the same Fox–Glynn weights) used for
-transient distributions.  The curve variants hand the whole time grid to the
-shared uniformization engine (:mod:`repro.ctmc.uniformization`), which walks
-the vector-power sequence once and folds every bound's tail-weighted reward
-sums in along the way.
+transient distributions.  The curve variants submit a one-request
+:class:`repro.analysis.AnalysisSession`, whose executor walks the
+vector-power sequence once and folds every bound's tail-weighted reward
+sums in along the way; to share that sweep across several reward curves or
+initial distributions, build the session yourself (see
+:mod:`repro.analysis`).
 """
 
 from __future__ import annotations
@@ -32,8 +34,7 @@ import numpy as np
 
 from repro.ctmc.ctmc import CTMC, CTMCError, MarkovRewardModel
 from repro.ctmc.steady_state import steady_state_distribution
-from repro.ctmc.transient import DEFAULT_EPSILON, transient_distribution
-from repro.ctmc.uniformization import evaluate_grid
+from repro.ctmc.transient import DEFAULT_EPSILON
 
 
 def _resolve(
@@ -59,9 +60,11 @@ def instantaneous_reward(
     epsilon: float = DEFAULT_EPSILON,
 ) -> float:
     """Expected reward rate at time ``time`` (CSRL ``R=?[I=t]``)."""
-    chain, rewards = _resolve(model, reward_name)
-    distribution = transient_distribution(chain, time, initial_distribution, epsilon)
-    return float(distribution @ rewards)
+    return float(
+        instantaneous_reward_curve(
+            model, [float(time)], reward_name, initial_distribution, epsilon
+        )[0]
+    )
 
 
 def instantaneous_reward_curve(
@@ -76,17 +79,18 @@ def instantaneous_reward_curve(
     The whole grid shares one uniformization sweep; only the scalar reward
     sequence ``(π₀ Pᵏ)·ρ`` is accumulated, not full distributions.
     """
+    from repro.analysis import AnalysisSession, MeasureKind
+
     chain, rewards = _resolve(model, reward_name)
-    result = evaluate_grid(
+    session = AnalysisSession(epsilon=epsilon)
+    index = session.request(
         chain,
         times,
-        initial_distribution=initial_distribution,
+        kind=MeasureKind.INSTANTANEOUS_REWARD,
         rewards=rewards,
-        distributions=False,
-        instantaneous=True,
-        epsilon=epsilon,
+        initial_distributions=initial_distribution,
     )
-    return result.instantaneous
+    return session.execute()[index].squeezed
 
 
 def cumulative_reward(
@@ -119,17 +123,18 @@ def cumulative_reward_curve(
     ``rₖ = (π₀ Pᵏ)·ρ`` is generated once and every bound's tail-weighted sum
     ``(1/q) Σ_k P[N_{qt} > k] rₖ`` is assembled from it with numpy slices.
     """
+    from repro.analysis import AnalysisSession, MeasureKind
+
     chain, rewards = _resolve(model, reward_name)
-    result = evaluate_grid(
+    session = AnalysisSession(epsilon=epsilon)
+    index = session.request(
         chain,
         times,
-        initial_distribution=initial_distribution,
+        kind=MeasureKind.CUMULATIVE_REWARD,
         rewards=rewards,
-        distributions=False,
-        cumulative=True,
-        epsilon=epsilon,
+        initial_distributions=initial_distribution,
     )
-    return result.cumulative
+    return session.execute()[index].squeezed
 
 
 def steady_state_reward(

@@ -22,9 +22,9 @@ from collections.abc import Iterable, Sequence
 
 import numpy as np
 
-from repro.ctmc.ctmc import CTMC, CTMCError
+from repro.ctmc.ctmc import CTMC, as_state_mask
 from repro.ctmc.foxglynn import fox_glynn
-from repro.ctmc.uniformization import DEFAULT_EPSILON, evaluate_grid, poisson_mixture_sweep
+from repro.ctmc.uniformization import DEFAULT_EPSILON, poisson_mixture_sweep
 
 __all__ = [
     "DEFAULT_EPSILON",
@@ -36,20 +36,9 @@ __all__ = [
 ]
 
 
-def _as_state_mask(chain: CTMC, states: Iterable[int] | np.ndarray | str) -> np.ndarray:
-    """Normalise a state set given as label name, index list or boolean mask."""
-    if isinstance(states, str):
-        return chain.label_mask(states)
-    array = np.asarray(list(states) if not isinstance(states, np.ndarray) else states)
-    mask = np.zeros(chain.num_states, dtype=bool)
-    if array.size == 0:
-        return mask
-    if array.dtype == bool:
-        if array.shape != (chain.num_states,):
-            raise CTMCError("boolean state mask has the wrong length")
-        return array.copy()
-    mask[array.astype(int)] = True
-    return mask
+#: Normalise a state set (label name, index list or boolean mask); kept under
+#: the historical name for the callers in dtmc.py / steady_state.py.
+_as_state_mask = as_state_mask
 
 
 def transient_distribution(
@@ -85,14 +74,24 @@ def transient_distributions(
     The result is an array of shape ``(len(times), num_states)``; row ``i``
     is ``π(times[i])``.  Time points may be given in any order and may
     contain duplicates; the whole grid is evaluated in one shared
-    uniformization sweep (see :func:`repro.ctmc.uniformization.evaluate_grid`),
-    so the cost is governed by the *largest* Fox–Glynn truncation point
-    rather than the sum over all grid points.
+    uniformization sweep, so the cost is governed by the *largest* Fox–Glynn
+    truncation point rather than the sum over all grid points.
+
+    This is a thin wrapper over a one-request
+    :class:`repro.analysis.AnalysisSession`; to batch several initial
+    distributions or several measures through the same sweep, build the
+    session yourself (see :mod:`repro.analysis`).
     """
-    result = evaluate_grid(
-        chain, times, initial_distribution=initial_distribution, epsilon=epsilon
+    from repro.analysis import AnalysisSession, MeasureKind
+
+    session = AnalysisSession(epsilon=epsilon)
+    index = session.request(
+        chain,
+        times,
+        kind=MeasureKind.TRANSIENT,
+        initial_distributions=initial_distribution,
     )
-    return result.distributions
+    return session.execute()[index].squeezed
 
 
 def time_bounded_reachability(
@@ -132,25 +131,30 @@ def time_bounded_reachability(
     -------
     float or numpy.ndarray
         The reachability probability, scalar if ``time`` is scalar.
-    """
-    target_mask = _as_state_mask(chain, target)
-    if safe is None:
-        safe_mask = np.ones(chain.num_states, dtype=bool)
-    else:
-        safe_mask = _as_state_mask(chain, safe)
 
-    # States from which the until formula is already decided: targets are
-    # "won", states outside safe ∪ target are "lost"; both become absorbing.
-    absorbing = target_mask | ~(safe_mask | target_mask)
-    transformed = chain.make_absorbing(np.flatnonzero(absorbing))
+    Notes
+    -----
+    This is a thin wrapper over a one-request
+    :class:`repro.analysis.AnalysisSession` (kind ``REACHABILITY``): the
+    session absorbs the decided states — targets are "won", states outside
+    ``safe ∪ target`` are "lost" — and folds the target-indicator products
+    of all time bounds into one uniformization sweep.
+    """
+    from repro.analysis import AnalysisSession, MeasureKind
 
     scalar_input = np.isscalar(time)
     times = [float(time)] if scalar_input else [float(value) for value in time]
-    distributions = transient_distributions(
-        transformed, times, initial_distribution, epsilon
+
+    session = AnalysisSession(epsilon=epsilon)
+    index = session.request(
+        chain,
+        times,
+        kind=MeasureKind.REACHABILITY,
+        target=target,
+        safe=safe,
+        initial_distributions=initial_distribution,
     )
-    probabilities = distributions[:, target_mask].sum(axis=1)
-    probabilities = np.clip(probabilities, 0.0, 1.0)
+    probabilities = session.execute()[index].squeezed
     if scalar_input:
         return float(probabilities[0])
     return probabilities

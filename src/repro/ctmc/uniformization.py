@@ -5,10 +5,22 @@ evaluated on a 46–101-point time grid.  Evaluating each grid point
 independently restarts the uniformization recursion ``π₀·Pᵏ`` from ``k = 0``,
 costing ``Σᵢ Rᵢ`` sparse matrix–vector products for right truncation points
 ``Rᵢ``.  The engine in this module walks the vector-power sequence
-``π₀·Pᵏ`` exactly **once** per (chain, initial distribution) and folds all
-requested time points into per-time accumulators during that single sweep,
-costing ``max_i Rᵢ`` products instead — a roughly ``points/2``-fold
-reduction on fine grids.
+``π₀·Pᵏ`` exactly **once** per chain and folds all requested time points
+into per-time accumulators during that single sweep, costing ``max_i Rᵢ``
+products instead — a roughly ``points/2``-fold reduction on fine grids.
+
+The sweep is *batched* along two further axes:
+
+* **initial distributions** — ``start`` may be a ``(num_initials,
+  num_states)`` block; the whole block is propagated through one sparse
+  mat–mat product per step, so per-disaster curves on the same chain share
+  a single matrix traversal (see ROADMAP: multi-initial-distribution
+  batching), and
+* **reward vectors** — ``rewards`` may be a ``(num_states, num_rewards)``
+  matrix; every column's scalar sequence ``(π₀ Pᵏ)·ρⱼ`` is folded in during
+  the same sweep.  Time-bounded reachability rides on this axis too: the
+  probability of sitting in an (absorbing) target set at time ``t`` is the
+  instantaneous "reward" of the target-indicator vector.
 
 Three measures ride on the same sweep:
 
@@ -50,18 +62,41 @@ class UniformizationStats:
     Attributes
     ----------
     matvecs:
-        Number of sparse matrix–vector products performed.
+        Number of sparse matrix–vector products performed, counted per
+        *column*: one application of the operator to a ``(num_states, B)``
+        block counts as ``B`` matvecs (the legacy per-curve unit).
+    applies:
+        Number of sparse operator applications (each mat–vec or mat–mat
+        product counts once, regardless of how many columns it carries).
+        The gap between ``matvecs`` and ``applies`` is exactly what
+        multi-initial batching amortises.
+    sparse_flops:
+        Estimated scalar multiply–adds spent inside sparse products:
+        ``nnz(operator) × columns`` per application.  This is the unit the
+        batched-sweep benchmarks gate on, because it also reflects lumping
+        (a quotient operator has far fewer non-zeros).
     sweeps:
         Number of vector-power sweeps (one per engine invocation with a
         non-trivial grid).
     """
 
     matvecs: int = 0
+    applies: int = 0
+    sparse_flops: int = 0
     sweeps: int = 0
 
     def reset(self) -> None:
         self.matvecs = 0
+        self.applies = 0
+        self.sparse_flops = 0
         self.sweeps = 0
+
+    def add(self, other: "UniformizationStats") -> None:
+        """Accumulate another counter object into this one."""
+        self.matvecs += other.matvecs
+        self.applies += other.applies
+        self.sparse_flops += other.sparse_flops
+        self.sweeps += other.sweeps
 
 
 #: Process-wide counters, updated by every sweep.  Benchmarks read deltas of
@@ -79,15 +114,19 @@ class GridResult:
     times:
         The requested time grid (original order, duplicates preserved).
     distributions:
-        ``(len(times), num_states)`` array of transient distributions, or
-        ``None`` if not requested.
+        ``(len(times), num_states)`` array of transient distributions for a
+        single initial distribution, ``(num_initials, len(times),
+        num_states)`` for a 2-D initial block, or ``None`` if not requested.
     instantaneous:
-        ``(len(times),)`` expected reward rates, or ``None``.
+        ``(len(times),)`` expected reward rates (``(num_initials,
+        len(times))`` for a block), or ``None``.
     cumulative:
-        ``(len(times),)`` expected accumulated rewards, or ``None``.
+        ``(len(times),)`` expected accumulated rewards (``(num_initials,
+        len(times))`` for a block), or ``None``.
     matvecs:
-        Sparse matvecs performed for this grid (the whole grid shares one
-        sweep, so this is the maximal right truncation point, not a sum).
+        Per-column sparse matvecs performed for this grid (the whole grid
+        shares one sweep, so this is the maximal right truncation point
+        times the number of initial distributions, not a sum over points).
     """
 
     times: np.ndarray
@@ -95,6 +134,34 @@ class GridResult:
     instantaneous: np.ndarray | None
     cumulative: np.ndarray | None
     matvecs: int
+
+
+@dataclass(frozen=True)
+class BlockGridResult:
+    """Result of :func:`evaluate_grid_block` — always carries the batch axes.
+
+    Attributes
+    ----------
+    times:
+        The requested time grid (original order, duplicates preserved).
+    distributions:
+        ``(num_initials, len(times), num_states)`` or ``None``.
+    instantaneous:
+        ``(num_initials, len(times), num_rewards)`` or ``None``.
+    cumulative:
+        ``(num_initials, len(times), num_rewards)`` or ``None``.
+    matvecs:
+        Per-column sparse matvecs performed (``applies × num_initials``).
+    applies:
+        Sparse operator applications performed (one per vector power).
+    """
+
+    times: np.ndarray
+    distributions: np.ndarray | None
+    instantaneous: np.ndarray | None
+    cumulative: np.ndarray | None
+    matvecs: int
+    applies: int
 
 
 def poisson_mixture_sweep(
@@ -114,53 +181,275 @@ def poisson_mixture_sweep(
     largest right truncation point of ``windows``; each window's weights are
     applied to whole blocks of vectors as numpy slices.
 
+    ``start`` may be a single vector of shape ``(dimension,)`` or a block of
+    ``B`` vectors with shape ``(B, dimension)``; a block is propagated with
+    one sparse mat–mat product per step, sharing the operator traversal
+    across all columns.  ``rewards`` may likewise be a single vector
+    ``(dimension,)`` or a matrix ``(dimension, m)`` of ``m`` reward columns.
+
     Returns
     -------
     (mixtures, reward_sequence):
-        ``mixtures[i] = Σ_k windows[i].weight(k) · v_k`` with shape
-        ``(len(windows), len(start))`` (``None`` unless
-        ``collect_mixtures``), and ``reward_sequence[k] = v_k @ rewards``
-        for ``k = 0 .. max right`` (``None`` unless ``rewards`` is given).
+        ``mixtures[i] = Σ_k windows[i].weight(k) · v_k``; shape
+        ``(len(windows), dimension)`` for a vector start and
+        ``(len(windows), B, dimension)`` for a block start (``None`` unless
+        ``collect_mixtures``).  ``reward_sequence[k] = v_k @ rewards`` for
+        ``k = 0 .. max right``; the trailing axes match the inputs — scalar
+        per ``k`` for vector start and vector rewards, ``(m,)`` / ``(B,)`` /
+        ``(B, m)`` when either is batched (``None`` unless ``rewards`` is
+        given).
     """
-    dimension = start.shape[0]
+    start_array = np.asarray(start, dtype=float)
+    single_start = start_array.ndim == 1
+    if start_array.ndim not in (1, 2):
+        raise CTMCError("start must be a vector or a (B, num_states) block")
+    block_rows = start_array[None, :] if single_start else start_array
+    num_columns, dimension = block_rows.shape
+
+    single_reward = False
+    reward_matrix: np.ndarray | None = None
+    if rewards is not None:
+        reward_matrix = np.asarray(rewards, dtype=float)
+        single_reward = reward_matrix.ndim == 1
+        if single_reward:
+            reward_matrix = reward_matrix[:, None]
+        if reward_matrix.shape[0] != dimension:
+            raise CTMCError("reward matrix does not match the state dimension")
+    num_rewards = 0 if reward_matrix is None else reward_matrix.shape[1]
+
+    def _squeeze_mixtures(mix: np.ndarray) -> np.ndarray:
+        return mix[:, 0, :] if single_start else mix
+
+    def _squeeze_rewards(seq: np.ndarray) -> np.ndarray:
+        if single_start and single_reward:
+            return seq[:, 0, 0]
+        if single_start:
+            return seq[:, 0, :]
+        if single_reward:
+            return seq[:, :, 0]
+        return seq
+
     if not windows:
-        mixtures = np.zeros((0, dimension)) if collect_mixtures else None
-        return mixtures, (np.zeros(0) if rewards is not None else None)
+        mixtures = (
+            _squeeze_mixtures(np.zeros((0, num_columns, dimension)))
+            if collect_mixtures
+            else None
+        )
+        reward_sequence = (
+            _squeeze_rewards(np.zeros((0, num_columns, num_rewards)))
+            if reward_matrix is not None
+            else None
+        )
+        return mixtures, reward_sequence
 
     right_max = max(window.right for window in windows)
-    mixtures = np.zeros((len(windows), dimension)) if collect_mixtures else None
-    reward_sequence = np.empty(right_max + 1) if rewards is not None else None
+    # Accumulators are kept as (windows, dimension, columns) so the sweep's
+    # (dimension, columns) layout is added without transposes on the hot path.
+    mixtures_acc = (
+        np.zeros((len(windows), dimension, num_columns)) if collect_mixtures else None
+    )
+    reward_sequence_acc = (
+        np.empty((right_max + 1, num_columns, num_rewards))
+        if reward_matrix is not None
+        else None
+    )
 
+    operator_nnz = (
+        int(operator.nnz) if sparse.issparse(operator) else int(np.count_nonzero(operator))
+    )
     performed = 0
-    vector = np.array(start, dtype=float, copy=True)
+    vectors = np.ascontiguousarray(block_rows.T)  # (dimension, columns)
     for block_start in range(0, right_max + 1, block_size):
         block_stop = min(block_start + block_size, right_max + 1)
-        block = np.empty((block_stop - block_start, dimension)) if collect_mixtures else None
+        buffered = (
+            np.empty((block_stop - block_start, dimension, num_columns))
+            if collect_mixtures
+            else None
+        )
         for offset, k in enumerate(range(block_start, block_stop)):
-            if block is not None:
-                block[offset] = vector
-            if reward_sequence is not None:
-                reward_sequence[k] = vector @ rewards
+            if buffered is not None:
+                buffered[offset] = vectors
+            if reward_sequence_acc is not None:
+                reward_sequence_acc[k] = vectors.T @ reward_matrix
             if k < right_max:
-                vector = operator @ vector
+                vectors = operator @ vectors
                 performed += 1
-        if block is None:
+        if buffered is None:
             continue
         for index, window in enumerate(windows):
             lo = max(window.left, block_start)
             hi = min(window.right, block_stop - 1)
             if lo <= hi:
-                mixtures[index] += (
-                    window.weights[lo - window.left : hi - window.left + 1]
-                    @ block[lo - block_start : hi - block_start + 1]
+                mixtures_acc[index] += np.tensordot(
+                    window.weights[lo - window.left : hi - window.left + 1],
+                    buffered[lo - block_start : hi - block_start + 1],
+                    axes=(0, 0),
                 )
 
-    ENGINE_STATS.matvecs += performed
-    ENGINE_STATS.sweeps += 1
-    if stats is not None:
-        stats.matvecs += performed
-        stats.sweeps += 1
+    for counters in (ENGINE_STATS, stats):
+        if counters is not None:
+            counters.matvecs += performed * num_columns
+            counters.applies += performed
+            counters.sparse_flops += performed * operator_nnz * num_columns
+            counters.sweeps += 1
+
+    mixtures = (
+        _squeeze_mixtures(np.swapaxes(mixtures_acc, 1, 2)) if collect_mixtures else None
+    )
+    reward_sequence = (
+        _squeeze_rewards(reward_sequence_acc) if reward_sequence_acc is not None else None
+    )
     return mixtures, reward_sequence
+
+
+def evaluate_grid_block(
+    chain: CTMC,
+    times: Sequence[float] | np.ndarray,
+    initial_block: np.ndarray,
+    rewards_matrix: np.ndarray | None = None,
+    distributions: bool = False,
+    instantaneous: bool = False,
+    cumulative: bool = False,
+    epsilon: float = DEFAULT_EPSILON,
+    stats: UniformizationStats | None = None,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> BlockGridResult:
+    """Evaluate a whole (initials × times × rewards) block in one sweep.
+
+    This is the batch core behind :func:`evaluate_grid` and the analysis
+    session executor: ``initial_block`` has shape ``(num_initials,
+    num_states)`` and ``rewards_matrix`` shape ``(num_states, num_rewards)``;
+    every combination of initial distribution, grid point and reward column
+    is folded into accumulators during one shared vector-power sweep, whose
+    Fox–Glynn windows are computed once per distinct positive time point.
+
+    The grid may be unsorted and contain duplicates and ``t = 0``.
+    """
+    times_array = np.asarray(times, dtype=float)
+    if times_array.ndim != 1:
+        raise CTMCError("time grid must be one-dimensional")
+    if not np.all(np.isfinite(times_array)):
+        raise CTMCError("time points must be finite")
+    if np.any(times_array < 0):
+        raise CTMCError("time points must be non-negative")
+
+    initials = np.asarray(initial_block, dtype=float)
+    if initials.ndim != 2 or initials.shape[1] != chain.num_states:
+        raise CTMCError("initial block must have shape (num_initials, num_states)")
+    num_initials = initials.shape[0]
+
+    need_rewards = instantaneous or cumulative
+    rewards = None
+    num_rewards = 0
+    if need_rewards:
+        if rewards_matrix is None:
+            raise CTMCError("instantaneous/cumulative outputs need a reward vector")
+        rewards = np.asarray(rewards_matrix, dtype=float)
+        if rewards.ndim == 1:
+            rewards = rewards[:, None]
+        if rewards.ndim != 2 or rewards.shape[0] != chain.num_states:
+            raise CTMCError("reward vector has the wrong length")
+        num_rewards = rewards.shape[1]
+
+    num_times = times_array.shape[0]
+    num_states = chain.num_states
+    dist_out = (
+        np.zeros((num_initials, num_times, num_states)) if distributions else None
+    )
+    inst_out = (
+        np.zeros((num_initials, num_times, num_rewards)) if instantaneous else None
+    )
+    cum_out = np.zeros((num_initials, num_times, num_rewards)) if cumulative else None
+    if num_times == 0:
+        return BlockGridResult(times_array.copy(), dist_out, inst_out, cum_out, 0, 0)
+
+    initial_rates = initials @ rewards if need_rewards else None  # (B, m)
+    if chain.max_exit_rate == 0.0:
+        # No transitions at all: the chain sits in the initial distribution.
+        if distributions:
+            dist_out[:] = initials[:, None, :]
+        if instantaneous:
+            inst_out[:] = initial_rates[:, None, :]
+        if cumulative:
+            cum_out[:] = times_array[None, :, None] * initial_rates[:, None, :]
+        return BlockGridResult(times_array.copy(), dist_out, inst_out, cum_out, 0, 0)
+
+    transposed, q = chain.uniformized_transpose()
+
+    unique_times, inverse = np.unique(times_array, return_inverse=True)
+    positive = np.flatnonzero(unique_times > 0.0)
+    windows = [fox_glynn(q * float(unique_times[i]), epsilon) for i in positive]
+
+    local = UniformizationStats()
+    mixtures, reward_sequence = poisson_mixture_sweep(
+        transposed,
+        initials,
+        windows,
+        rewards=rewards if need_rewards else None,
+        collect_mixtures=distributions,
+        stats=local,
+        block_size=block_size,
+    )
+    if stats is not None:
+        stats.add(local)
+
+    num_unique = unique_times.shape[0]
+    unique_dist = (
+        np.zeros((num_unique, num_initials, num_states)) if distributions else None
+    )
+    unique_inst = (
+        np.zeros((num_unique, num_initials, num_rewards)) if instantaneous else None
+    )
+    unique_cum = (
+        np.zeros((num_unique, num_initials, num_rewards)) if cumulative else None
+    )
+    if cumulative:
+        # prefix[k] = Σ_{j < k} v_j @ rewards, used for the sub-window head
+        # where the Poisson tail probability is (numerically) the full mass.
+        prefix = np.concatenate(
+            (
+                np.zeros((1, num_initials, num_rewards)),
+                np.cumsum(reward_sequence, axis=0),
+            )
+        )
+
+    for window_index, unique_index in enumerate(positive):
+        window = windows[window_index]
+        if distributions:
+            unique_dist[unique_index] = mixtures[window_index]
+        if instantaneous:
+            unique_inst[unique_index] = np.tensordot(
+                window.weights,
+                reward_sequence[window.left : window.right + 1],
+                axes=(0, 0),
+            )
+        if cumulative:
+            mass = np.cumsum(window.weights)
+            total = float(mass[-1])
+            tails = total - mass  # tails[j] = P[N > left + j]
+            unique_cum[unique_index] = (
+                total * prefix[window.left]
+                + np.tensordot(
+                    tails, reward_sequence[window.left : window.right + 1], axes=(0, 0)
+                )
+            ) / q
+
+    for unique_index in np.flatnonzero(unique_times == 0.0):
+        if distributions:
+            unique_dist[unique_index] = initials
+        if instantaneous:
+            unique_inst[unique_index] = initial_rates
+        # cumulative reward at t = 0 stays 0
+
+    if distributions:
+        dist_out[:] = np.swapaxes(unique_dist[inverse], 0, 1)
+    if instantaneous:
+        inst_out[:] = np.swapaxes(unique_inst[inverse], 0, 1)
+    if cumulative:
+        cum_out[:] = np.swapaxes(unique_cum[inverse], 0, 1)
+    return BlockGridResult(
+        times_array.copy(), dist_out, inst_out, cum_out, local.matvecs, local.applies
+    )
 
 
 def evaluate_grid(
@@ -188,7 +477,10 @@ def evaluate_grid(
     times:
         Time points (non-negative, any order).
     initial_distribution:
-        Optional override of the chain's initial distribution.
+        Optional override of the chain's initial distribution.  A 2-D block
+        of shape ``(num_initials, num_states)`` batches several initial
+        distributions through the same sweep (one sparse mat–mat product per
+        step); the outputs then gain a leading ``num_initials`` axis.
     rewards:
         State reward-rate vector; required for the reward outputs.
     distributions, instantaneous, cumulative:
@@ -198,105 +490,46 @@ def evaluate_grid(
     stats:
         Optional counter object updated with the work performed.
     """
-    times_array = np.asarray(times, dtype=float)
-    if times_array.ndim != 1:
-        raise CTMCError("time grid must be one-dimensional")
-    if not np.all(np.isfinite(times_array)):
-        raise CTMCError("time points must be finite")
-    if np.any(times_array < 0):
-        raise CTMCError("time points must be non-negative")
-
-    need_rewards = instantaneous or cumulative
-    if need_rewards:
-        if rewards is None:
-            raise CTMCError("instantaneous/cumulative outputs need a reward vector")
-        rewards = np.asarray(rewards, dtype=float)
-        if rewards.shape != (chain.num_states,):
-            raise CTMCError("reward vector has the wrong length")
-
     if initial_distribution is None:
         pi0 = chain.initial_distribution
     else:
         pi0 = np.asarray(initial_distribution, dtype=float)
-        if pi0.shape != (chain.num_states,):
+        if pi0.ndim == 1 and pi0.shape != (chain.num_states,):
             raise CTMCError("initial distribution has the wrong length")
+        if pi0.ndim == 2 and pi0.shape[1] != chain.num_states:
+            raise CTMCError("initial distribution block has the wrong width")
+        if pi0.ndim not in (1, 2):
+            raise CTMCError("initial distribution must be a vector or a 2-D block")
 
-    num_times = times_array.shape[0]
-    num_states = chain.num_states
-    dist_out = np.zeros((num_times, num_states)) if distributions else None
-    inst_out = np.zeros(num_times) if instantaneous else None
-    cum_out = np.zeros(num_times) if cumulative else None
-    if num_times == 0:
-        return GridResult(times_array.copy(), dist_out, inst_out, cum_out, 0)
+    single = pi0.ndim == 1
+    block = pi0[None, :] if single else pi0
 
-    initial_rate = float(pi0 @ rewards) if need_rewards else 0.0
-    if chain.max_exit_rate == 0.0:
-        # No transitions at all: the chain sits in the initial distribution.
-        if distributions:
-            dist_out[:] = pi0
-        if instantaneous:
-            inst_out[:] = initial_rate
-        if cumulative:
-            cum_out[:] = times_array * initial_rate
-        return GridResult(times_array.copy(), dist_out, inst_out, cum_out, 0)
+    if rewards is not None:
+        rewards = np.asarray(rewards, dtype=float)
+        if rewards.shape != (chain.num_states,):
+            raise CTMCError("reward vector has the wrong length")
 
-    transposed, q = chain.uniformized_transpose()
-
-    unique_times, inverse = np.unique(times_array, return_inverse=True)
-    positive = np.flatnonzero(unique_times > 0.0)
-    windows = [fox_glynn(q * float(unique_times[i]), epsilon) for i in positive]
-
-    local = UniformizationStats()
-    mixtures, reward_sequence = poisson_mixture_sweep(
-        transposed,
-        pi0,
-        windows,
-        rewards=rewards if need_rewards else None,
-        collect_mixtures=distributions,
-        stats=local,
+    result = evaluate_grid_block(
+        chain,
+        times,
+        block,
+        rewards_matrix=rewards,
+        distributions=distributions,
+        instantaneous=instantaneous,
+        cumulative=cumulative,
+        epsilon=epsilon,
+        stats=stats,
         block_size=block_size,
     )
-    if stats is not None:
-        stats.matvecs += local.matvecs
-        stats.sweeps += local.sweeps
 
-    num_unique = unique_times.shape[0]
-    unique_dist = np.zeros((num_unique, num_states)) if distributions else None
-    unique_inst = np.zeros(num_unique) if instantaneous else None
-    unique_cum = np.zeros(num_unique) if cumulative else None
-    if cumulative:
-        # prefix[k] = Σ_{j < k} v_j @ rewards, used for the sub-window head
-        # where the Poisson tail probability is (numerically) the full mass.
-        prefix = np.concatenate(([0.0], np.cumsum(reward_sequence)))
-
-    for window_index, unique_index in enumerate(positive):
-        window = windows[window_index]
-        if distributions:
-            unique_dist[unique_index] = mixtures[window_index]
-        if instantaneous:
-            unique_inst[unique_index] = float(
-                window.weights @ reward_sequence[window.left : window.right + 1]
-            )
-        if cumulative:
-            mass = np.cumsum(window.weights)
-            total = float(mass[-1])
-            tails = total - mass  # tails[j] = P[N > left + j]
-            unique_cum[unique_index] = (
-                total * float(prefix[window.left])
-                + float(tails @ reward_sequence[window.left : window.right + 1])
-            ) / q
-
-    for unique_index in np.flatnonzero(unique_times == 0.0):
-        if distributions:
-            unique_dist[unique_index] = pi0
-        if instantaneous:
-            unique_inst[unique_index] = initial_rate
-        # cumulative reward at t = 0 stays 0
-
-    if distributions:
-        dist_out[:] = unique_dist[inverse]
-    if instantaneous:
-        inst_out[:] = unique_inst[inverse]
-    if cumulative:
-        cum_out[:] = unique_cum[inverse]
-    return GridResult(times_array.copy(), dist_out, inst_out, cum_out, local.matvecs)
+    dist_out = result.distributions
+    inst_out = result.instantaneous
+    cum_out = result.cumulative
+    if single:
+        dist_out = dist_out[0] if dist_out is not None else None
+        inst_out = inst_out[0, :, 0] if inst_out is not None else None
+        cum_out = cum_out[0, :, 0] if cum_out is not None else None
+    else:
+        inst_out = inst_out[:, :, 0] if inst_out is not None else None
+        cum_out = cum_out[:, :, 0] if cum_out is not None else None
+    return GridResult(result.times, dist_out, inst_out, cum_out, result.matvecs)

@@ -19,6 +19,16 @@ which is expanded on demand):
 * :func:`~repro.measures.costs.instantaneous_cost` and
   :func:`~repro.measures.costs.accumulated_cost` — ``R=?[I=t]`` and
   ``R=?[C<=t]`` over the cost reward structure.
+
+Every per-call function is a thin wrapper over a one-request
+:class:`repro.analysis.AnalysisSession`.  To compute a whole curve family
+(several strategies, disasters, service levels) without redundant chain
+traversals, build the requests with the ``*_request`` builders —
+:func:`~repro.measures.survivability.survivability_request`,
+:func:`~repro.measures.reliability.unreliability_request`,
+:func:`~repro.measures.costs.instantaneous_cost_request`,
+:func:`~repro.measures.costs.accumulated_cost_request` — and submit them to
+one session (see :mod:`repro.analysis`).
 """
 
 from repro.measures.availability import (
@@ -26,26 +36,36 @@ from repro.measures.availability import (
     steady_state_availability,
     steady_state_unavailability,
 )
-from repro.measures.reliability import reliability, reliability_curve, unreliability
+from repro.measures.reliability import (
+    reliability,
+    reliability_curve,
+    unreliability,
+    unreliability_request,
+)
 from repro.measures.service import service_intervals, service_levels, states_with_service_at_least
 from repro.measures.survivability import (
     survivability,
     survivability_curve,
     survivability_curves_by_interval,
+    survivability_request,
 )
 from repro.measures.costs import (
     accumulated_cost,
     accumulated_cost_curve,
+    accumulated_cost_request,
     instantaneous_cost,
     instantaneous_cost_curve,
+    instantaneous_cost_request,
 )
 
 __all__ = [
     "accumulated_cost",
     "accumulated_cost_curve",
+    "accumulated_cost_request",
     "combined_availability",
     "instantaneous_cost",
     "instantaneous_cost_curve",
+    "instantaneous_cost_request",
     "reliability",
     "reliability_curve",
     "service_intervals",
@@ -56,5 +76,7 @@ __all__ = [
     "survivability",
     "survivability_curve",
     "survivability_curves_by_interval",
+    "survivability_request",
     "unreliability",
+    "unreliability_request",
 ]

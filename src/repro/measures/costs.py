@@ -20,6 +20,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.analysis import MeasureKind, MeasureRequest
 from repro.arcade.model import ArcadeModel, Disaster
 from repro.arcade.statespace import ArcadeStateSpace, build_state_space
 from repro.ctmc.rewards import (
@@ -37,6 +38,51 @@ def _space_and_initial(
     if disaster is None:
         return space, None
     return space, space.initial_distribution_for_disaster(disaster)
+
+
+def _cost_request(
+    system: ArcadeStateSpace | ArcadeModel,
+    times: Sequence[float] | np.ndarray,
+    disaster: Disaster | str | None,
+    kind: MeasureKind,
+    tag,
+) -> MeasureRequest:
+    space, initial = _space_and_initial(system, disaster)
+    rewards = space.reward_model.reward_structure("cost").state_rewards
+    return MeasureRequest(
+        chain=space.chain,
+        times=times,
+        kind=kind,
+        rewards=rewards,
+        initial_distributions=initial,
+        tag=tag,
+    )
+
+
+def instantaneous_cost_request(
+    system: ArcadeStateSpace | ArcadeModel,
+    times: Sequence[float] | np.ndarray,
+    disaster: Disaster | str | None = None,
+    tag=None,
+) -> MeasureRequest:
+    """Build the :class:`~repro.analysis.MeasureRequest` behind the cost-rate curve.
+
+    Submit several of these to one :class:`~repro.analysis.AnalysisSession`
+    to share the per-chain sweeps of a whole cost figure.
+    """
+    return _cost_request(
+        system, times, disaster, MeasureKind.INSTANTANEOUS_REWARD, tag
+    )
+
+
+def accumulated_cost_request(
+    system: ArcadeStateSpace | ArcadeModel,
+    times: Sequence[float] | np.ndarray,
+    disaster: Disaster | str | None = None,
+    tag=None,
+) -> MeasureRequest:
+    """Build the :class:`~repro.analysis.MeasureRequest` behind the accumulated-cost curve."""
+    return _cost_request(system, times, disaster, MeasureKind.CUMULATIVE_REWARD, tag)
 
 
 def instantaneous_cost(

@@ -18,6 +18,7 @@ from collections.abc import Sequence
 
 import numpy as np
 
+from repro.analysis import MeasureKind, MeasureRequest
 from repro.arcade.model import ArcadeModel
 from repro.arcade.statespace import ArcadeStateSpace, build_state_space
 from repro.ctmc import time_bounded_reachability
@@ -34,6 +35,27 @@ def _reliability_space(system: ArcadeStateSpace | ArcadeModel) -> ArcadeStateSpa
             return system
         return build_state_space(system.model, with_repairs=False)
     return build_state_space(system, with_repairs=False)
+
+
+def unreliability_request(
+    system: ArcadeStateSpace | ArcadeModel,
+    times: Sequence[float] | np.ndarray,
+    tag=None,
+) -> MeasureRequest:
+    """Build the :class:`~repro.analysis.MeasureRequest` behind :func:`unreliability`.
+
+    Submit several of these (e.g. both process lines) to one
+    :class:`~repro.analysis.AnalysisSession`; ``reliability`` is ``1 -``
+    the resulting curve.
+    """
+    space = _reliability_space(system)
+    return MeasureRequest(
+        chain=space.chain,
+        times=times,
+        kind=MeasureKind.REACHABILITY,
+        target="down",
+        tag=tag,
+    )
 
 
 def unreliability(

@@ -24,15 +24,43 @@ from fractions import Fraction
 
 import numpy as np
 
+from repro.analysis import AnalysisSession, MeasureKind, MeasureRequest
 from repro.arcade.model import ArcadeModel, Disaster
 from repro.arcade.statespace import ArcadeStateSpace, build_state_space
-from repro.ctmc import time_bounded_reachability
 
 
 def _as_state_space(system: ArcadeStateSpace | ArcadeModel) -> ArcadeStateSpace:
     if isinstance(system, ArcadeStateSpace):
         return system
     return build_state_space(system)
+
+
+def survivability_request(
+    system: ArcadeStateSpace | ArcadeModel,
+    disaster: Disaster | str,
+    service_level: float | Fraction,
+    times: Sequence[float] | np.ndarray,
+    tag=None,
+) -> MeasureRequest:
+    """Build the :class:`~repro.analysis.MeasureRequest` behind :func:`survivability`.
+
+    Submit several of these (different disasters, service levels or repair
+    strategies) to one :class:`~repro.analysis.AnalysisSession` to share
+    uniformization sweeps across the whole curve family; requests on the
+    same chain with the same target set and grid collapse into one sweep
+    with all disasters batched.
+    """
+    space = _as_state_space(system)
+    if not space.with_repairs:
+        raise ValueError("survivability requires a model with repair transitions")
+    return MeasureRequest(
+        chain=space.chain,
+        times=times,
+        kind=MeasureKind.REACHABILITY,
+        target=space.states_with_service_at_least(service_level),
+        initial_distributions=space.initial_distribution_for_disaster(disaster),
+        tag=tag,
+    )
 
 
 def survivability(
@@ -55,14 +83,14 @@ def survivability(
     time:
         A single time bound or a sequence of bounds.
     """
-    space = _as_state_space(system)
-    if not space.with_repairs:
-        raise ValueError("survivability requires a model with repair transitions")
-    target = space.states_with_service_at_least(service_level)
-    initial = space.initial_distribution_for_disaster(disaster)
-    return time_bounded_reachability(
-        space.chain, target, time, initial_distribution=initial
-    )
+    scalar_input = np.isscalar(time)
+    times = [float(time)] if scalar_input else [float(value) for value in time]
+    session = AnalysisSession()
+    index = session.add(survivability_request(system, disaster, service_level, times))
+    values = session.execute()[index].squeezed
+    if scalar_input:
+        return float(values[0])
+    return values
 
 
 def survivability_curve(
@@ -99,8 +127,16 @@ def survivability_curves_by_interval(
     """
     space = _as_state_space(system)
     intervals = space.model.effective_service_tree().service_intervals()
-    curves: dict[tuple[Fraction, Fraction], tuple[np.ndarray, np.ndarray]] = {}
-    for interval in intervals:
-        lower, _upper = interval
-        curves[interval] = survivability_curve(space, disaster, lower, horizon, points)
-    return curves
+    times = np.linspace(0.0, horizon, points)
+    session = AnalysisSession()
+    indices = {
+        interval: session.add(
+            survivability_request(space, disaster, interval[0], times, tag=interval)
+        )
+        for interval in intervals
+    }
+    results = session.execute()
+    return {
+        interval: (times.copy(), results[index].squeezed)
+        for interval, index in indices.items()
+    }

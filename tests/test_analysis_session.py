@@ -1,0 +1,406 @@
+"""Tests for the batched analysis-session API (`repro.analysis`).
+
+Covers the planner's grouping rules (what may and may not share a sweep),
+the executor's batching axes (initial distributions, reward columns), the
+sweep-count acceptance criterion on the paper's Figure 4/5 family, the
+lumped quotient path, and the CLI's figure-pair deduplication.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import AnalysisSession, MeasureKind, MeasureRequest, SessionStats
+from repro.casestudy import experiments as exp
+from repro.casestudy.facility import (
+    DISASTER_1,
+    DISASTER_2,
+    LINE2,
+    PAPER_STRATEGIES,
+)
+from repro.cli import main
+from repro.ctmc import CTMC
+from repro.ctmc.ctmc import CTMCError
+from repro.ctmc.rewards import cumulative_reward_curve, instantaneous_reward_curve
+from repro.ctmc.transient import time_bounded_reachability, transient_distributions
+from repro.measures import survivability, survivability_request
+from repro.measures.costs import accumulated_cost_request, instantaneous_cost_request
+
+
+def random_chain(num_states: int, seed: int, density: float = 0.35) -> CTMC:
+    rng = np.random.default_rng(seed)
+    rates = rng.random((num_states, num_states)) * (
+        rng.random((num_states, num_states)) < density
+    )
+    rates[0, 1] = 0.5  # make sure the chain has at least one transition
+    np.fill_diagonal(rates, 0.0)
+    initial = rng.random(num_states)
+    return CTMC(
+        rates,
+        initial / initial.sum(),
+        labels={"target": [num_states - 1], "bad": [0]},
+    )
+
+
+GRID = [0.0, 0.5, 2.0, 0.5, 5.0]
+
+
+# ---------------------------------------------------------------------------
+# planner grouping rules
+# ---------------------------------------------------------------------------
+class TestPlannerGrouping:
+    def test_same_chain_same_grid_share_one_group(self):
+        chain = random_chain(8, seed=0)
+        rewards = np.arange(8.0)
+        session = AnalysisSession()
+        session.request(chain, GRID, kind=MeasureKind.TRANSIENT)
+        session.request(chain, GRID, kind=MeasureKind.INSTANTANEOUS_REWARD, rewards=rewards)
+        session.request(chain, GRID, kind=MeasureKind.CUMULATIVE_REWARD, rewards=rewards)
+        plan = session.plan()
+        assert plan.num_groups == 1
+        assert len(plan.groups[0].members) == 3
+
+    def test_duplicate_grid_objects_are_merged(self):
+        chain = random_chain(8, seed=1)
+        session = AnalysisSession()
+        session.request(chain, np.linspace(0.0, 4.0, 9), kind=MeasureKind.TRANSIENT)
+        session.request(chain, np.linspace(0.0, 4.0, 9), kind=MeasureKind.TRANSIENT)
+        assert session.plan().num_groups == 1
+
+    def test_different_grids_never_merge(self):
+        chain = random_chain(8, seed=2)
+        session = AnalysisSession()
+        session.request(chain, [1.0, 2.0], kind=MeasureKind.TRANSIENT)
+        session.request(chain, [1.0, 2.5], kind=MeasureKind.TRANSIENT)
+        assert session.plan().num_groups == 2
+
+    def test_different_chains_never_merge(self):
+        session = AnalysisSession()
+        session.request(random_chain(8, seed=3), GRID, kind=MeasureKind.TRANSIENT)
+        session.request(random_chain(8, seed=4), GRID, kind=MeasureKind.TRANSIENT)
+        assert session.plan().num_groups == 2
+
+    def test_different_epsilon_never_merges(self):
+        chain = random_chain(8, seed=5)
+        session = AnalysisSession()
+        session.request(chain, GRID, kind=MeasureKind.TRANSIENT, epsilon=1e-8)
+        session.request(chain, GRID, kind=MeasureKind.TRANSIENT, epsilon=1e-12)
+        assert session.plan().num_groups == 2
+
+    def test_different_targets_never_merge(self):
+        # Different target sets induce different absorbing transforms, hence
+        # different operating chains (and typically different rates).
+        chain = random_chain(8, seed=6)
+        session = AnalysisSession()
+        session.request(chain, GRID, kind=MeasureKind.REACHABILITY, target="target")
+        session.request(chain, GRID, kind=MeasureKind.REACHABILITY, target="bad")
+        assert session.plan().num_groups == 2
+
+    def test_equal_targets_share_transform_and_group(self):
+        chain = random_chain(8, seed=7)
+        session = AnalysisSession()
+        session.request(chain, GRID, kind=MeasureKind.REACHABILITY, target="target")
+        session.request(chain, GRID, kind=MeasureKind.REACHABILITY, target=[7])
+        assert session.plan().num_groups == 1
+
+    def test_unbatched_session_gives_one_group_per_request(self):
+        chain = random_chain(8, seed=8)
+        session = AnalysisSession(batched=False)
+        session.request(chain, GRID, kind=MeasureKind.TRANSIENT)
+        session.request(chain, GRID, kind=MeasureKind.TRANSIENT)
+        assert session.plan().num_groups == 2
+
+    def test_invalid_requests_are_rejected(self):
+        chain = random_chain(6, seed=9)
+        session = AnalysisSession()
+        session.request(chain, [[1.0]], kind=MeasureKind.TRANSIENT)  # 2-D grid
+        with pytest.raises(CTMCError):
+            session.plan()
+        session = AnalysisSession()
+        session.request(chain, [-1.0], kind=MeasureKind.TRANSIENT)
+        with pytest.raises(CTMCError):
+            session.plan()
+        session = AnalysisSession()
+        session.request(chain, [1.0], kind=MeasureKind.REACHABILITY)  # no target
+        with pytest.raises(CTMCError):
+            session.plan()
+        session = AnalysisSession()
+        session.request(
+            chain, [0.5], kind=MeasureKind.INTERVAL_REACHABILITY,
+            target="target", lower=1.0,  # grid point below the lower bound
+        )
+        with pytest.raises(CTMCError):
+            session.plan()
+
+
+# ---------------------------------------------------------------------------
+# executor batching axes
+# ---------------------------------------------------------------------------
+class TestExecutorBatching:
+    def test_permuted_initial_blocks_round_trip(self):
+        chain = random_chain(9, seed=10)
+        rng = np.random.default_rng(11)
+        initials = rng.random((3, 9))
+        initials /= initials.sum(axis=1, keepdims=True)
+
+        session = AnalysisSession()
+        forward = session.request(
+            chain, GRID, kind=MeasureKind.REACHABILITY, target="target",
+            initial_distributions=initials,
+        )
+        backward = session.request(
+            chain, GRID, kind=MeasureKind.REACHABILITY, target="target",
+            initial_distributions=initials[::-1].copy(),
+        )
+        plan = session.plan()
+        assert plan.num_groups == 1
+        results = session.execute()
+        # one sweep served both requests; rows must come back in request order
+        assert results[forward].group_index == results[backward].group_index
+        references = [
+            time_bounded_reachability(
+                chain, "target", GRID, initial_distribution=initials[i]
+            )
+            for i in range(3)
+        ]
+        for i in range(3):
+            np.testing.assert_allclose(
+                results[forward].values[i], references[i], atol=1e-12
+            )
+            np.testing.assert_allclose(
+                results[backward].values[i], references[2 - i], atol=1e-12
+            )
+
+    def test_duplicate_initials_are_deduplicated_but_results_complete(self):
+        chain = random_chain(7, seed=12)
+        pi0 = chain.initial_distribution
+        block = np.stack([pi0, pi0, pi0])
+        session = AnalysisSession()
+        index = session.request(
+            chain, GRID, kind=MeasureKind.TRANSIENT, initial_distributions=block
+        )
+        result = session.execute()[index]
+        assert result.values.shape == (3, len(GRID), 7)
+        reference = transient_distributions(chain, GRID)
+        for row in range(3):
+            np.testing.assert_allclose(result.values[row], reference, atol=1e-12)
+
+    def test_mixed_kinds_share_one_sweep(self):
+        chain = random_chain(10, seed=13)
+        rewards = np.arange(10.0)
+        stats = SessionStats()
+        session = AnalysisSession(stats=stats)
+        transient = session.request(chain, GRID, kind=MeasureKind.TRANSIENT)
+        instantaneous = session.request(
+            chain, GRID, kind=MeasureKind.INSTANTANEOUS_REWARD, rewards=rewards
+        )
+        cumulative = session.request(
+            chain, GRID, kind=MeasureKind.CUMULATIVE_REWARD, rewards=rewards
+        )
+        results = session.execute()
+        assert stats.groups == 1
+        assert stats.sweeps == 1
+        np.testing.assert_allclose(
+            results[transient].squeezed, transient_distributions(chain, GRID), atol=1e-12
+        )
+        np.testing.assert_allclose(
+            results[instantaneous].squeezed,
+            instantaneous_reward_curve((chain, rewards), GRID),
+            atol=1e-12,
+        )
+        np.testing.assert_allclose(
+            results[cumulative].squeezed,
+            cumulative_reward_curve((chain, rewards), GRID),
+            atol=1e-12,
+        )
+
+    def test_interval_until_lower_zero_is_plain_bounded_until(self):
+        # U[0, t] must equal U<=t, including the CSL edge where the initial
+        # state satisfies the target but not the safe formula: the path wins
+        # immediately, it is not "blocked".
+        chain = CTMC(
+            np.array([[0.0, 1.0], [0.0, 0.0]]),
+            {0: 1.0},
+            labels={"goal": [0], "ok": [1]},
+        )
+        session = AnalysisSession()
+        interval = session.request(
+            chain, [1.0], kind=MeasureKind.INTERVAL_REACHABILITY,
+            target="goal", safe="ok", lower=0.0,
+        )
+        plain = session.request(
+            chain, [1.0], kind=MeasureKind.REACHABILITY, target="goal", safe="ok",
+        )
+        results = session.execute()
+        assert results[interval].squeezed[0] == pytest.approx(1.0)
+        assert results[interval].squeezed[0] == results[plain].squeezed[0]
+        # both were even planned into the same group
+        assert results[interval].group_index == results[plain].group_index
+
+    def test_interval_until_matches_backward_recursion(self):
+        from repro.csl.checker import ModelChecker
+        from repro.csl.parser import parse_formula
+
+        chain = random_chain(9, seed=14)
+        checker = ModelChecker(chain)
+        session = AnalysisSession()
+        index = session.request(
+            chain, [1.0, 2.5], kind=MeasureKind.INTERVAL_REACHABILITY,
+            target="target", lower=0.5,
+        )
+        values = session.execute()[index].squeezed
+        for time, value in zip([1.0, 2.5], values):
+            formula = parse_formula(f'P=? [ true U[0.5,{time}] "target" ]')
+            per_state = checker.check_states(formula)
+            reference = float(chain.initial_distribution @ per_state)
+            assert value == pytest.approx(reference, abs=1e-10)
+
+
+# ---------------------------------------------------------------------------
+# acceptance: the Figure 4/5 family costs one sweep per (chain, rate, grid)
+# ---------------------------------------------------------------------------
+class TestFigureFamilies:
+    def test_fig4_5_family_one_sweep_per_group(self):
+        stats = SessionStats()
+        figure4, figure5 = exp.figure4_5_survivability_line1(points=9, stats=stats)
+        # 3 strategies x 2 service intervals = 6 distinct transformed chains;
+        # the whole family must cost exactly one sweep per group.
+        assert stats.requests == 6
+        assert stats.groups == 6
+        assert stats.sweeps == stats.groups
+        # and the batched values must agree with the per-call legacy API
+        times = figure4.times
+        for interval_index, figure in ((0, figure4), (1, figure5)):
+            threshold = exp._line_service_interval_lower("line1", interval_index)
+            for configuration in exp._LINE1_SURVIVABILITY_STRATEGIES:
+                space = exp.line_state_space("line1", configuration)
+                legacy = survivability(space, DISASTER_1, threshold, times)
+                np.testing.assert_allclose(
+                    figure.series[configuration.label], legacy, atol=1e-12
+                )
+
+    def test_multi_disaster_requests_share_one_sweep(self):
+        # Line 2 defines two disasters; curves for both on one strategy and
+        # service level differ only in the initial distribution and must be
+        # planned into a single group (one sweep, two batched initials).
+        configuration = PAPER_STRATEGIES[0]
+        space = exp.line_state_space(LINE2, configuration)
+        threshold = exp._line_service_interval_lower(LINE2, 0)
+        times = np.linspace(0.0, 40.0, 9)
+        stats = SessionStats()
+        session = AnalysisSession(stats=stats)
+        indices = {
+            disaster: session.add(
+                survivability_request(space, disaster, threshold, times, tag=disaster)
+            )
+            for disaster in (DISASTER_1, DISASTER_2)
+        }
+        results = session.execute()
+        assert stats.groups == 1
+        assert stats.sweeps == 1
+        for disaster, index in indices.items():
+            legacy = survivability(space, disaster, threshold, times)
+            np.testing.assert_allclose(results[index].squeezed, legacy, atol=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# lumped quotients preserve the case-study measures
+# ---------------------------------------------------------------------------
+class TestLumpedSessions:
+    @pytest.mark.parametrize("configuration", PAPER_STRATEGIES[:3], ids=lambda c: c.label)
+    def test_lumped_survivability_matches_unlumped(self, configuration):
+        space = exp.line_state_space(LINE2, configuration)
+        threshold = exp._line_service_interval_lower(LINE2, 0)
+        times = np.linspace(0.0, 50.0, 11)
+
+        curves = {}
+        lumped_states = {}
+        for lump in (False, True):
+            session = AnalysisSession(lump=lump, epsilon=1e-14)
+            indices = [
+                session.add(
+                    survivability_request(space, disaster, threshold, times)
+                )
+                for disaster in (DISASTER_1, DISASTER_2)
+            ]
+            results = session.execute()
+            curves[lump] = [results[i].squeezed for i in indices]
+            lumped_states[lump] = results[indices[0]].lumped_states
+        assert lumped_states[False] is None
+        assert lumped_states[True] is not None
+        assert lumped_states[True] < space.chain.num_states
+        for unlumped, lumped in zip(curves[False], curves[True]):
+            np.testing.assert_allclose(lumped, unlumped, atol=1e-12)
+
+    def test_lumped_cost_curves_match_unlumped(self):
+        configuration = PAPER_STRATEGIES[2]
+        space = exp.line_state_space(LINE2, configuration)
+        times = np.linspace(0.0, 30.0, 9)
+        values = {}
+        for lump in (False, True):
+            session = AnalysisSession(lump=lump, epsilon=1e-14)
+            instantaneous = session.add(
+                instantaneous_cost_request(space, times, DISASTER_2)
+            )
+            accumulated = session.add(
+                accumulated_cost_request(space, times, DISASTER_2)
+            )
+            results = session.execute()
+            values[lump] = (
+                results[instantaneous].squeezed,
+                results[accumulated].squeezed,
+            )
+        np.testing.assert_allclose(values[True][0], values[False][0], atol=1e-12)
+        np.testing.assert_allclose(values[True][1], values[False][1], atol=1e-12)
+
+    def test_transient_groups_are_never_lumped(self):
+        chain = random_chain(8, seed=15)
+        session = AnalysisSession(lump=True)
+        index = session.request(chain, GRID, kind=MeasureKind.TRANSIENT)
+        result = session.execute()[index]
+        assert result.lumped_states is None
+        np.testing.assert_allclose(
+            result.squeezed, transient_distributions(chain, GRID), atol=1e-12
+        )
+
+
+# ---------------------------------------------------------------------------
+# CLI: paired figures run their family (and its session) exactly once
+# ---------------------------------------------------------------------------
+class TestCommandLineSessions:
+    def test_fig4_fig5_share_one_family_computation(self, capsys, monkeypatch):
+        calls = []
+        original = exp.figure4_5_survivability_line1
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(exp, "figure4_5_survivability_line1", counting)
+        assert main(["fig4", "fig5", "--points", "5", "--no-plot"]) == 0
+        assert len(calls) == 1
+        out = capsys.readouterr().out
+        assert "session:" in out
+
+    def test_fig8_fig9_share_one_family_computation(self, monkeypatch):
+        calls = []
+        original = exp.figure8_9_survivability_line2
+
+        def counting(*args, **kwargs):
+            calls.append(1)
+            return original(*args, **kwargs)
+
+        monkeypatch.setattr(exp, "figure8_9_survivability_line2", counting)
+        assert main(["fig8", "fig9", "--points", "5", "--no-plot"]) == 0
+        assert len(calls) == 1
+
+    def test_lump_flag_reaches_the_session(self, capsys):
+        assert main(["fig8", "--points", "5", "--no-plot", "--lump"]) == 0
+        out = capsys.readouterr().out
+        assert "lumped" in out
+
+    def test_no_batched_flag_plans_per_curve(self, capsys):
+        assert main(["fig3", "--points", "5", "--no-plot", "--no-batched"]) == 0
+        out = capsys.readouterr().out
+        assert "session:" in out

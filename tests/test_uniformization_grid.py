@@ -17,7 +17,11 @@ from repro.ctmc.ctmc import CTMCError
 from repro.ctmc.foxglynn import fox_glynn
 from repro.ctmc.rewards import cumulative_reward_curve, instantaneous_reward_curve
 from repro.ctmc.transient import time_bounded_reachability, transient_distributions
-from repro.ctmc.uniformization import UniformizationStats, evaluate_grid
+from repro.ctmc.uniformization import (
+    UniformizationStats,
+    evaluate_grid,
+    evaluate_grid_block,
+)
 
 EPSILON = 1e-10
 
@@ -192,3 +196,93 @@ class TestEngineBehaviour:
     def test_wrong_initial_distribution_length(self, chain):
         with pytest.raises(CTMCError):
             evaluate_grid(chain, [1.0], initial_distribution=np.ones(chain.num_states + 1))
+
+
+class TestInitialBlockBatching:
+    """A 2-D initial block must reproduce the per-initial results exactly
+    while sharing a single operator traversal per vector power."""
+
+    def _initial_block(self, chain: CTMC, rows: int = 3) -> np.ndarray:
+        rng = np.random.default_rng(chain.num_states)
+        block = rng.random((rows, chain.num_states))
+        return block / block.sum(axis=1, keepdims=True)
+
+    def test_block_matches_per_initial_rows(self, chain):
+        block = self._initial_block(chain)
+        rewards = np.linspace(0.0, 2.0, chain.num_states)
+        batched = evaluate_grid(
+            chain, GRID, initial_distribution=block, rewards=rewards,
+            instantaneous=True, cumulative=True, epsilon=EPSILON,
+        )
+        assert batched.distributions.shape == (3, len(GRID), chain.num_states)
+        assert batched.instantaneous.shape == (3, len(GRID))
+        assert batched.cumulative.shape == (3, len(GRID))
+        for row in range(block.shape[0]):
+            single = evaluate_grid(
+                chain, GRID, initial_distribution=block[row], rewards=rewards,
+                instantaneous=True, cumulative=True, epsilon=EPSILON,
+            )
+            np.testing.assert_allclose(
+                batched.distributions[row], single.distributions, atol=1e-12
+            )
+            np.testing.assert_allclose(
+                batched.instantaneous[row], single.instantaneous, atol=1e-12
+            )
+            np.testing.assert_allclose(
+                batched.cumulative[row], single.cumulative, atol=1e-12
+            )
+
+    def test_block_shares_the_operator_traversal(self, chain):
+        block = self._initial_block(chain, rows=4)
+        stats = UniformizationStats()
+        evaluate_grid(chain, GRID, initial_distribution=block, epsilon=EPSILON, stats=stats)
+        _, q = chain.uniformized_matrix()
+        expected_applies = max(fox_glynn(q * t, EPSILON).right for t in GRID if t > 0.0)
+        assert stats.applies == expected_applies
+        assert stats.matvecs == expected_applies * 4
+        assert stats.sweeps == 1
+
+    def test_reward_matrix_columns(self, chain):
+        block = self._initial_block(chain, rows=2)
+        rng = np.random.default_rng(7)
+        reward_matrix = rng.random((chain.num_states, 3))
+        batched = evaluate_grid_block(
+            chain, GRID, block, reward_matrix,
+            instantaneous=True, cumulative=True, epsilon=EPSILON,
+        )
+        assert batched.instantaneous.shape == (2, len(GRID), 3)
+        for column in range(3):
+            single = evaluate_grid_block(
+                chain, GRID, block, reward_matrix[:, column],
+                instantaneous=True, cumulative=True, epsilon=EPSILON,
+            )
+            np.testing.assert_allclose(
+                batched.instantaneous[:, :, column],
+                single.instantaneous[:, :, 0],
+                atol=1e-12,
+            )
+            np.testing.assert_allclose(
+                batched.cumulative[:, :, column],
+                single.cumulative[:, :, 0],
+                atol=1e-12,
+            )
+
+    def test_block_on_transitionless_chain(self):
+        chain = CTMC(np.zeros((3, 3)), {1: 1.0})
+        block = np.array([[1.0, 0.0, 0.0], [0.0, 0.0, 1.0]])
+        rewards = np.array([1.0, 2.0, 3.0])
+        result = evaluate_grid(
+            chain, [0.0, 4.0], initial_distribution=block, rewards=rewards,
+            instantaneous=True, cumulative=True,
+        )
+        np.testing.assert_allclose(result.instantaneous, [[1.0, 1.0], [3.0, 3.0]])
+        np.testing.assert_allclose(result.cumulative, [[0.0, 4.0], [0.0, 12.0]])
+
+    def test_malformed_blocks_rejected(self, chain):
+        with pytest.raises(CTMCError):
+            evaluate_grid(
+                chain, [1.0],
+                initial_distribution=np.ones((2, chain.num_states + 1)),
+            )
+        with pytest.raises(CTMCError):
+            evaluate_grid_block(chain, [1.0], np.ones((0, chain.num_states))[None])
