@@ -17,6 +17,16 @@ once per curve (the deprecated per-call idiom, see
 * the session's work counters (groups, sweeps, matvecs, lumping
   compression) are printed at the end — the same line the CLI prints.
 
+.. note::
+   For anything beyond a one-shot script, the per-call *and* the
+   one-session idiom shown here are superseded by the **scenario service**
+   (:mod:`repro.service`, see ``scenario_service.py`` next door): it
+   coalesces requests across many concurrent clients, runs independent
+   groups on a worker pool, and keeps transforms/quotients/Fox–Glynn
+   windows in a process-wide artifact cache so repeated sweeps recompute
+   nothing.  A standalone ``AnalysisSession`` builds its artifacts from
+   scratch every time.
+
 Run with::
 
     python examples/batched_sweep.py [--horizon HOURS] [--points N] [--lump]

@@ -11,11 +11,13 @@ entry point (``repro.ctmc.transient``, ``repro.ctmc.rewards``,
 one-request session, so the batched path is the *only* numerical path.
 """
 
+from repro.analysis.executor import ExecutionUnit, execute_plan, execution_units
 from repro.analysis.planner import (
     ExecutionGroup,
     ExecutionPlan,
     LumpedChain,
     build_plan,
+    normalise_request,
 )
 from repro.analysis.requests import (
     MeasureKind,
@@ -28,10 +30,14 @@ __all__ = [
     "AnalysisSession",
     "ExecutionGroup",
     "ExecutionPlan",
+    "ExecutionUnit",
     "LumpedChain",
     "MeasureKind",
     "MeasureRequest",
     "MeasureResult",
     "SessionStats",
     "build_plan",
+    "execute_plan",
+    "execution_units",
+    "normalise_request",
 ]

@@ -16,27 +16,43 @@ states absorbed, ``P[ safe U^{<=t} target ]`` is the instantaneous
 
 Interval-until groups (CSL ``U[a, b]``) are the one exception: they need a
 backward sweep on the target-absorbed chain for the ``[a, b]`` phase and a
-forward sweep on the safe-restricted chain for the ``[0, a]`` phase — two
-sweeps per group, with all member initials still batched through the
-forward phase.
+forward sweep on the safe-restricted chain for the ``[0, a]`` phase.  All
+interval groups that agree on the (base chain, safe, target, lower,
+epsilon) signature — i.e. differ only in their time grids — are bundled
+into one :class:`ExecutionUnit`: the backward phase runs once over the
+union of every grid's residual horizons and the forward phase runs once
+with every grid's value vectors stacked on the reward axis, so ``G`` grids
+cost two sweeps total instead of two each.
 
 When the planner attached a quotient (:class:`~repro.analysis.planner.LumpedChain`),
 the sweep runs on the quotient chain: initial distributions are projected
 blockwise and the observable vectors are restricted to one value per block
 (they are block-constant by construction of the lumping partition).
+
+The plan is materialised as a list of :class:`ExecutionUnit` objects
+(:func:`execution_units`), each independently runnable: the scenario
+service executes units concurrently on a worker pool and fails one unit's
+requests without touching the others, while :func:`execute_plan` simply
+runs them in order.  An optional artifact cache
+(:class:`repro.service.ArtifactCache`) supplies transformed chains,
+uniformized operators and Fox–Glynn windows across plans.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from typing import Any
+
 import numpy as np
 
+from repro.ctmc.ctmc import CTMC
 from repro.ctmc.foxglynn import fox_glynn
 from repro.ctmc.uniformization import (
     UniformizationStats,
     evaluate_grid_block,
     poisson_mixture_sweep,
 )
-from repro.analysis.planner import ExecutionGroup, ExecutionPlan, PlannedRequest
+from repro.analysis.planner import ExecutionGroup, ExecutionPlan
 from repro.analysis.requests import MeasureKind, MeasureResult
 
 
@@ -63,17 +79,108 @@ class _ColumnPool:
         return len(self._vectors)
 
 
+# ----------------------------------------------------------------------
+# execution units
+# ----------------------------------------------------------------------
+@dataclass
+class ExecutionUnit:
+    """An independently runnable slice of an execution plan.
+
+    Either a single regular group, or a bundle of interval-until groups
+    sharing a (base chain, safe, target, lower, epsilon) signature.  Units
+    touch disjoint ``results`` slots, so the scenario service may run them
+    concurrently on worker threads.
+    """
+
+    groups: list[tuple[int, ExecutionGroup]]
+    interval: bool = False
+
+    @property
+    def request_indices(self) -> list[int]:
+        """Indices (into the plan's request list) this unit will resolve."""
+        return [
+            member.index for _, group in self.groups for member in group.members
+        ]
+
+    def run(
+        self,
+        results: list[MeasureResult | None],
+        engine_stats: UniformizationStats | None = None,
+        artifacts: Any | None = None,
+    ) -> None:
+        """Execute this unit, writing each member's result into ``results``."""
+        if self.interval:
+            _execute_interval_bundle(self.groups, results, engine_stats, artifacts)
+        else:
+            group_index, group = self.groups[0]
+            _execute_group(group, group_index, results, engine_stats, artifacts)
+
+
+def execution_units(plan: ExecutionPlan) -> list[ExecutionUnit]:
+    """Split ``plan`` into independently runnable units.
+
+    Regular groups become one unit each.  Interval groups that agree on the
+    full (base chain, target, safe, lower, epsilon) signature are bundled so
+    their backward and forward phases are shared (see module docstring).
+    """
+    units: list[ExecutionUnit] = []
+    interval_bundles: dict[tuple, ExecutionUnit] = {}
+    for group_index, group in enumerate(plan.groups):
+        if not group.interval:
+            units.append(ExecutionUnit(groups=[(group_index, group)]))
+            continue
+        if not plan.batched:
+            # Comparison mode: the unbatched baseline must sweep every
+            # request independently, so interval groups stay unbundled too.
+            units.append(ExecutionUnit(groups=[(group_index, group)], interval=True))
+            continue
+        first = group.members[0]
+        signature = (
+            id(group.chain),
+            first.target_mask.tobytes(),
+            first.safe_mask.tobytes(),
+            float(first.request.lower),
+            float(group.epsilon),
+        )
+        bundle = interval_bundles.get(signature)
+        if bundle is None:
+            bundle = ExecutionUnit(groups=[], interval=True)
+            interval_bundles[signature] = bundle
+            units.append(bundle)
+        bundle.groups.append((group_index, group))
+    return units
+
+
 def execute_plan(
-    plan: ExecutionPlan, engine_stats: UniformizationStats | None = None
+    plan: ExecutionPlan,
+    engine_stats: UniformizationStats | None = None,
+    artifacts: Any | None = None,
 ) -> list[MeasureResult]:
     """Run every group of ``plan`` and return results in request order."""
     results: list[MeasureResult | None] = [None] * plan.num_requests
-    for group_index, group in enumerate(plan.groups):
-        if group.interval:
-            _execute_interval_group(group, group_index, results, engine_stats)
-        else:
-            _execute_group(group, group_index, results, engine_stats)
+    for unit in execution_units(plan):
+        unit.run(results, engine_stats, artifacts)
     return results  # type: ignore[return-value]
+
+
+# ----------------------------------------------------------------------
+# cache plumbing
+# ----------------------------------------------------------------------
+def _transformed(base: CTMC, mask: np.ndarray, artifacts: Any | None) -> CTMC:
+    """The absorbing transform of ``base``, via the artifact cache if given."""
+    if artifacts is not None:
+        return artifacts.transformed_chain(base, mask)
+    return base.make_absorbing(mask)
+
+
+def _lookups(artifacts: Any | None) -> dict[str, Any]:
+    """``evaluate_grid_block`` keyword hooks backed by the artifact cache."""
+    if artifacts is None:
+        return {}
+    return {
+        "window_lookup": artifacts.fox_glynn_window,
+        "operator_lookup": artifacts.uniformized_transpose,
+    }
 
 
 # ----------------------------------------------------------------------
@@ -84,6 +191,7 @@ def _execute_group(
     group_index: int,
     results: list[MeasureResult | None],
     engine_stats: UniformizationStats | None,
+    artifacts: Any | None = None,
 ) -> None:
     initial_pool = _ColumnPool()
     reward_pool = _ColumnPool()
@@ -129,6 +237,7 @@ def _execute_group(
         cumulative=need_cumulative,
         epsilon=group.epsilon,
         stats=engine_stats,
+        **_lookups(artifacts),
     )
 
     lumped_states = lumped.num_blocks if lumped is not None else None
@@ -153,34 +262,40 @@ def _execute_group(
 
 
 # ----------------------------------------------------------------------
-# interval-until groups: backward [a, t] phase, then forward [0, a] phase
+# interval-until bundles: one backward [a, t] phase shared by every grid,
+# then one forward [0, a] phase with all grids' value vectors stacked
 # ----------------------------------------------------------------------
-def _execute_interval_group(
-    group: ExecutionGroup,
-    group_index: int,
+def _execute_interval_bundle(
+    entries: list[tuple[int, ExecutionGroup]],
     results: list[MeasureResult | None],
     engine_stats: UniformizationStats | None,
+    artifacts: Any | None = None,
 ) -> None:
-    first = group.members[0]
+    first_group = entries[0][1]
+    first = first_group.members[0]
     target_mask = first.target_mask
     safe_mask = first.safe_mask
     lower = float(first.request.lower)
-    base = group.chain
-    times = group.times
+    epsilon = first_group.epsilon
+    base = first_group.chain
 
     # Phase 2 (backward): per-state P[ safe U^{<= t-a} target ] on the chain
-    # with decided states absorbed, for every residual horizon of the grid.
+    # with decided states absorbed, for every residual horizon appearing in
+    # *any* bundled grid — one sweep over the union.
     absorbing = target_mask | ~(safe_mask | target_mask)
-    transformed = base.make_absorbing(np.flatnonzero(absorbing))
-    horizons = np.maximum(times - lower, 0.0)
-    unique_horizons, inverse = np.unique(horizons, return_inverse=True)
+    transformed = _transformed(base, absorbing, artifacts)
+    group_horizons = [
+        np.maximum(group.times - lower, 0.0) for _, group in entries
+    ]
+    unique_horizons = np.unique(np.concatenate(group_horizons))
     per_state = np.empty((unique_horizons.shape[0], base.num_states))
     indicator = target_mask.astype(float)
     positive = np.flatnonzero(unique_horizons > 0.0)
+    make_window = fox_glynn if artifacts is None else artifacts.fox_glynn_window
     if positive.size and transformed.max_exit_rate > 0.0:
         probabilities, q2 = transformed.uniformized_matrix()
         windows = [
-            fox_glynn(q2 * float(unique_horizons[i]), group.epsilon) for i in positive
+            make_window(q2 * float(unique_horizons[i]), epsilon) for i in positive
         ]
         mixtures, _ = poisson_mixture_sweep(
             probabilities, indicator, windows, stats=engine_stats
@@ -194,20 +309,28 @@ def _execute_interval_group(
 
     # Phase 1 (forward): evolve every initial distribution through the
     # safe-restricted chain for time a, then weigh it against the phase-2
-    # value vectors — one instantaneous-reward sweep with T reward columns.
-    # The planner routes a = 0 to the plain reachability path, so here a > 0
-    # and zeroing the non-safe rows is sound: a path sitting in a non-safe
-    # state strictly before time a has already failed the until formula.
+    # value vectors — one instantaneous-reward sweep whose reward axis
+    # stacks every bundled grid's columns.  The planner routes a = 0 to the
+    # plain reachability path, so here a > 0 and zeroing the non-safe rows
+    # is sound: a path sitting in a non-safe state strictly before time a
+    # has already failed the until formula.
     initial_pool = _ColumnPool()
     member_rows = [
-        [initial_pool.add(row) for row in member.initials] for member in group.members
+        [
+            [initial_pool.add(row) for row in member.initials]
+            for member in group.members
+        ]
+        for _, group in entries
     ]
     initial_block = initial_pool.stack()
-    value_columns = per_state[inverse].T  # (num_states, len(times))
+    column_indices = np.concatenate(
+        [np.searchsorted(unique_horizons, horizons) for horizons in group_horizons]
+    )
+    value_columns = per_state[column_indices].T  # (num_states, sum of grid sizes)
     blocked = ~safe_mask
     value_columns = np.where(blocked[:, None], 0.0, value_columns)
 
-    restricted = base.make_absorbing(np.flatnonzero(blocked))
+    restricted = _transformed(base, blocked, artifacts)
     phase1 = evaluate_grid_block(
         restricted,
         np.array([lower]),
@@ -215,17 +338,23 @@ def _execute_interval_group(
         rewards_matrix=value_columns,
         distributions=False,
         instantaneous=True,
-        epsilon=group.epsilon,
+        epsilon=epsilon,
         stats=engine_stats,
+        **_lookups(artifacts),
     )
     per_initial = np.clip(phase1.instantaneous[:, 0, :], 0.0, 1.0)
 
-    for member, rows in zip(group.members, member_rows):
-        results[member.index] = MeasureResult(
-            request=member.request,
-            times=member.times.copy(),
-            values=per_initial[rows],
-            group_index=group_index,
-            lumped_states=None,
-            _squeeze=member.squeeze,
-        )
+    offset = 0
+    for (group_index, group), rows_per_member in zip(entries, member_rows):
+        width = group.times.shape[0]
+        columns = np.arange(offset, offset + width)
+        offset += width
+        for member, rows in zip(group.members, rows_per_member):
+            results[member.index] = MeasureResult(
+                request=member.request,
+                times=member.times.copy(),
+                values=per_initial[np.ix_(rows, columns)],
+                group_index=group_index,
+                lumped_states=None,
+                _squeeze=member.squeeze,
+            )

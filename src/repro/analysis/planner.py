@@ -28,8 +28,11 @@ different transformed chains).
 
 from __future__ import annotations
 
+import hashlib
+import warnings
 from collections.abc import Sequence
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 from scipy import sparse
@@ -97,17 +100,32 @@ class ExecutionGroup:
 
 @dataclass
 class ExecutionPlan:
-    """The grouping the session will execute."""
+    """The grouping the session will execute.
+
+    ``batched`` records the planning mode: with ``False`` (the comparison
+    mode) the executor must also refrain from bundling interval groups, so
+    the per-request baseline really runs every sweep independently.
+    ``lump_failures`` counts groups whose quotient build crashed and was
+    degraded to the full chain (see :func:`build_plan`).
+    """
 
     groups: list[ExecutionGroup]
     num_requests: int
+    batched: bool = True
+    lump_failures: int = 0
 
     @property
     def num_groups(self) -> int:
         return len(self.groups)
 
 
-def _normalise(request: MeasureRequest, index: int) -> PlannedRequest:
+def normalise_request(request: MeasureRequest, index: int = 0) -> PlannedRequest:
+    """Validate one request and derive its vectors (masks, rewards, initials).
+
+    Raises :class:`~repro.ctmc.ctmc.CTMCError` on an invalid request.  The
+    scenario service calls this per submission so a poisoned request fails
+    its own future instead of aborting a whole coalesced batch.
+    """
     times = np.asarray(request.times, dtype=float)
     if times.ndim != 1:
         raise CTMCError("time grid must be one-dimensional")
@@ -155,18 +173,25 @@ def build_plan(
     lump: bool = False,
     batched: bool = True,
     default_epsilon: float = DEFAULT_EPSILON,
+    artifacts: Any | None = None,
 ) -> ExecutionPlan:
     """Group ``requests`` into execution groups (see module docstring).
 
     With ``batched=False`` every request is placed in its own group — the
     per-curve behaviour of the pre-session API, kept for comparison runs
     and the CLI's ``--no-batched`` flag.
+
+    ``artifacts`` is an optional :class:`repro.service.ArtifactCache` (any
+    object with its ``transformed_chain``/``quotient`` methods works): when
+    given, absorbing transforms and lumping quotients are looked up in the
+    process-wide cache by chain fingerprint instead of being rebuilt per
+    plan, so repeated portfolio sweeps reuse them across sessions.
     """
     groups: dict[tuple, ExecutionGroup] = {}
     transformed_cache: dict[tuple[int, bytes], CTMC] = {}
 
     for index, request in enumerate(requests):
-        planned = _normalise(request, index)
+        planned = normalise_request(request, index)
         epsilon = request.epsilon if request.epsilon is not None else default_epsilon
         base = request.chain
 
@@ -177,7 +202,10 @@ def build_plan(
             cache_key = (id(base), transform_token)
             operating = transformed_cache.get(cache_key)
             if operating is None:
-                operating = base.make_absorbing(absorbing)
+                if artifacts is not None:
+                    operating = artifacts.transformed_chain(base, absorbing)
+                else:
+                    operating = base.make_absorbing(absorbing)
                 transformed_cache[cache_key] = operating
         elif interval:
             # Interval-until groups sweep two transformed chains; members are
@@ -218,17 +246,52 @@ def build_plan(
             groups[key] = group
         group.members.append(planned)
 
-    plan = ExecutionPlan(groups=list(groups.values()), num_requests=len(requests))
+    plan = ExecutionPlan(
+        groups=list(groups.values()), num_requests=len(requests), batched=batched
+    )
     if lump:
         for group in plan.groups:
-            group.lumped = _lump_group(group)
+            # Lumping is an optimisation: a failing refinement/quotient
+            # build must never poison the plan (the scenario service
+            # coalesces many clients into one), so the group degrades to
+            # its full chain and the sweep stays exact — but visibly: the
+            # failure is warned about and counted into the session stats.
+            try:
+                group.lumped = _lump_group(group, artifacts)
+            except Exception as error:
+                group.lumped = None
+                plan.lump_failures += 1
+                warnings.warn(
+                    f"lumping failed for a {group.chain.num_states}-state group "
+                    f"({type(error).__name__}: {error}); sweeping the full chain",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
     return plan
 
 
 # ----------------------------------------------------------------------
 # lumping glue
 # ----------------------------------------------------------------------
-def _lump_group(group: ExecutionGroup) -> LumpedChain | None:
+def observable_signature(observables: Sequence[np.ndarray]) -> str:
+    """A canonical digest of a group's observable vectors.
+
+    Together with the operating chain's fingerprint this keys a lumping
+    quotient in the process-wide artifact cache.  The digest is taken over
+    the *sorted set* of vector byte strings: the refined partition depends
+    only on which distinct observables must stay block-constant, not on how
+    many group members observe each or in which order they were submitted —
+    so a re-coalesced batch (different client mix, different flush split)
+    still hits the cached quotient.
+    """
+    digest = hashlib.sha256()
+    for raw in sorted({np.asarray(vector, dtype=float).tobytes() for vector in observables}):
+        digest.update(raw)
+        digest.update(b"|")
+    return digest.hexdigest()
+
+
+def _lump_group(group: ExecutionGroup, artifacts: Any | None = None) -> LumpedChain | None:
     """Build the quotient of a group's operating chain, if worthwhile.
 
     The initial partition is seeded with one state-class per distinct value
@@ -236,6 +299,11 @@ def _lump_group(group: ExecutionGroup) -> LumpedChain | None:
     vectors), so the refined partition keeps all of them block-constant.
     Initial distributions need no seeding: ordinary lumpability holds for
     arbitrary initial distributions, which simply project blockwise.
+
+    With ``artifacts`` given, the quotient is fetched from (or stored into)
+    the process-wide cache under ``(chain fingerprint, observable
+    signature)``; an unprofitable quotient is cached as ``None`` so repeat
+    runs skip the refinement entirely.
     """
     if group.interval:
         return None
@@ -248,6 +316,17 @@ def _lump_group(group: ExecutionGroup) -> LumpedChain | None:
         if member.rewards is not None:
             observables.append(member.rewards)
 
+    if artifacts is not None:
+        return artifacts.quotient(
+            group.chain,
+            observable_signature(observables),
+            lambda: _build_quotient(group.chain, observables),
+        )
+    return _build_quotient(group.chain, observables)
+
+
+def _build_quotient(chain: CTMC, observables: Sequence[np.ndarray]) -> LumpedChain | None:
+    """Refine and build the quotient of ``chain`` seeded with ``observables``."""
     labels: dict[str, np.ndarray] = {}
     for observable_index, vector in enumerate(observables):
         _, classes = np.unique(vector, return_inverse=True)
@@ -255,8 +334,8 @@ def _lump_group(group: ExecutionGroup) -> LumpedChain | None:
             labels[f"obs{observable_index}c{class_index}"] = classes == class_index
 
     bare = CTMC(
-        group.chain.rate_matrix,
-        group.chain.initial_distribution,
+        chain.rate_matrix,
+        chain.initial_distribution,
         labels=labels,
     )
     partition = np.asarray(lumping_partition(bare), dtype=int)

@@ -59,12 +59,28 @@ class SessionStats:
     lumped_groups: int = 0
     lumped_states_before: int = 0
     lumped_states_after: int = 0
+    lump_failures: int = 0
 
     def absorb_engine(self, engine: UniformizationStats) -> None:
         self.sweeps += engine.sweeps
         self.matvecs += engine.matvecs
         self.applies += engine.applies
         self.sparse_flops += engine.sparse_flops
+
+    def absorb_plan(self, plan: ExecutionPlan) -> None:
+        """Account for an executed plan's requests, groups and lumping.
+
+        The single bookkeeping site shared by :meth:`AnalysisSession.execute`
+        and the scenario service's flush, so the two never drift.
+        """
+        self.requests += plan.num_requests
+        self.groups += plan.num_groups
+        self.lump_failures += plan.lump_failures
+        for group in plan.groups:
+            if group.lumped is not None:
+                self.lumped_groups += 1
+                self.lumped_states_before += group.chain.num_states
+                self.lumped_states_after += group.lumped.num_blocks
 
     def summary(self) -> str:
         """One line for CLI output and logs."""
@@ -81,6 +97,8 @@ class SessionStats:
                 f"lumped {self.lumped_groups} groups "
                 f"({self.lumped_states_before}->{self.lumped_states_after} states)"
             )
+        if self.lump_failures:
+            parts.append(f"lump_failures={self.lump_failures}")
         return "session: " + " ".join(parts)
 
 
@@ -101,6 +119,12 @@ class AnalysisSession:
     stats:
         Optional shared :class:`SessionStats`; several sessions (e.g. all
         experiments of one CLI invocation) may accumulate into one object.
+    artifacts:
+        Optional :class:`repro.service.ArtifactCache`: absorbing transforms,
+        lumping quotients, uniformized operators and Fox–Glynn windows are
+        then looked up process-wide (keyed by chain fingerprint) instead of
+        being rebuilt per session.  The scenario service passes its cache
+        here; standalone sessions default to no cross-session caching.
     """
 
     def __init__(
@@ -110,11 +134,13 @@ class AnalysisSession:
         batched: bool = True,
         epsilon: float = DEFAULT_EPSILON,
         stats: SessionStats | None = None,
+        artifacts=None,
     ) -> None:
         self.lump = lump
         self.batched = batched
         self.default_epsilon = float(epsilon)
         self.stats = stats if stats is not None else SessionStats()
+        self.artifacts = artifacts
         self._requests: list[MeasureRequest] = []
 
     # ------------------------------------------------------------------
@@ -146,19 +172,14 @@ class AnalysisSession:
             lump=self.lump,
             batched=self.batched,
             default_epsilon=self.default_epsilon,
+            artifacts=self.artifacts,
         )
 
     def execute(self) -> list[MeasureResult]:
         """Plan and run all registered requests; results in registration order."""
         plan = self.plan()
         engine = UniformizationStats()
-        results = execute_plan(plan, engine_stats=engine)
-        self.stats.requests += plan.num_requests
-        self.stats.groups += plan.num_groups
+        results = execute_plan(plan, engine_stats=engine, artifacts=self.artifacts)
+        self.stats.absorb_plan(plan)
         self.stats.absorb_engine(engine)
-        for group in plan.groups:
-            if group.lumped is not None:
-                self.stats.lumped_groups += 1
-                self.stats.lumped_states_before += group.chain.num_states
-                self.stats.lumped_states_after += group.lumped.num_blocks
         return results

@@ -23,6 +23,7 @@ to measure construction time).
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from fractions import Fraction
 
@@ -54,6 +55,11 @@ from repro.measures import (
 # state-space cache
 # ---------------------------------------------------------------------------
 _SPACE_CACHE: dict[tuple[str, str, int, bool], ArcadeStateSpace] = {}
+# Scenario-service clients may expand scenarios (and hence build state
+# spaces) from several tasks/threads at once; the lock keeps each space
+# built exactly once.  Chain identity matters downstream: the planner merges
+# requests by `id(chain)`, so duplicate builds would defeat coalescing.
+_SPACE_CACHE_LOCK = threading.Lock()
 
 
 def line_state_space(
@@ -63,15 +69,17 @@ def line_state_space(
 ) -> ArcadeStateSpace:
     """Build (or fetch from cache) the state space of a line under a strategy."""
     key = (line, configuration.strategy.value, configuration.crews, with_repairs)
-    if key not in _SPACE_CACHE:
-        model = build_line(line, configuration.strategy, configuration.crews)
-        _SPACE_CACHE[key] = build_state_space(model, with_repairs=with_repairs)
-    return _SPACE_CACHE[key]
+    with _SPACE_CACHE_LOCK:
+        if key not in _SPACE_CACHE:
+            model = build_line(line, configuration.strategy, configuration.crews)
+            _SPACE_CACHE[key] = build_state_space(model, with_repairs=with_repairs)
+        return _SPACE_CACHE[key]
 
 
 def clear_cache() -> None:
     """Drop all cached state spaces."""
-    _SPACE_CACHE.clear()
+    with _SPACE_CACHE_LOCK:
+        _SPACE_CACHE.clear()
 
 
 # ---------------------------------------------------------------------------
@@ -237,12 +245,26 @@ _LINE1_SURVIVABILITY_STRATEGIES = (
     StrategyConfiguration(RepairStrategy.FASTEST_REPAIR_FIRST, 2),
 )
 
+#: Public alias: the strategy subset of the paper's Figure 4-7 (Line 1)
+#: experiments, shared with the scenario registry and the benchmarks so the
+#: figure family is defined exactly once.
+LINE1_SURVIVABILITY_STRATEGIES = _LINE1_SURVIVABILITY_STRATEGIES
+
 
 def _line_service_interval_lower(line: str, interval_index: int) -> Fraction:
     configuration = StrategyConfiguration(RepairStrategy.DEDICATED, 1)
     space = line_state_space(line, configuration)
     intervals = space.model.effective_service_tree().service_intervals()
     return intervals[interval_index][0]
+
+
+def line_service_interval_lower(line: str, interval_index: int) -> Fraction:
+    """Lower endpoint of a line's service interval (X1, X2, ... of the paper).
+
+    The canonical threshold lookup for survivability targets, shared by the
+    figure functions, the scenario registry and the benchmarks.
+    """
+    return _line_service_interval_lower(line, interval_index)
 
 
 def _survivability_figures(
@@ -428,6 +450,9 @@ _LINE2_COST_STRATEGIES = (
     StrategyConfiguration(RepairStrategy.FASTEST_REPAIR_FIRST, 1),
     StrategyConfiguration(RepairStrategy.FASTEST_REPAIR_FIRST, 2),
 )
+
+#: Public alias: the strategy subset of Figures 10/11 (Line 2 costs).
+LINE2_COST_STRATEGIES = _LINE2_COST_STRATEGIES
 
 
 def figure10_11_costs_line2(

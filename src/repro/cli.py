@@ -8,6 +8,7 @@ Usage examples::
     python -m repro fig8 --lump          # solve on lumped quotient chains
     python -m repro all --fast           # everything, on coarse grids
     python -m repro all --output results # also write CSV files per experiment
+    python -m repro serve --clients 4 --repeat 2   # scenario service sweep
 
 Every experiment name matches the table/figure numbering of the paper; see
 DESIGN.md for the experiment index.
@@ -19,11 +20,19 @@ work counters (groups, sweeps, matvecs, lumping compression) are printed at
 the end of every run that computed figures; ``--no-batched`` plans one
 sweep per curve (the legacy behaviour) for comparison, and ``--lump``
 solves every group on its ordinary-lumpability quotient.
+
+``serve`` sweeps whole scenario portfolios through the asyncio scenario
+service (:mod:`repro.service`): ``--clients N`` concurrent clients each
+submit every selected scenario, the dispatcher coalesces their requests
+into shared sweeps, and ``--repeat K`` repeats the portfolio to show the
+process-wide artifact cache eliminating quotient/window recomputation on
+warm runs.  Coalescing and cache statistics are printed per round.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 from pathlib import Path
 
@@ -140,8 +149,140 @@ def _render(name: str, result, args: argparse.Namespace) -> str:
     return "\n".join(parts)
 
 
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-watertreatment serve",
+        description=(
+            "Sweep scenario portfolios through the asyncio scenario service: "
+            "N concurrent clients submit every selected scenario, the "
+            "dispatcher coalesces compatible requests across clients into "
+            "shared uniformization sweeps, and repeats hit the process-wide "
+            "artifact cache (transforms, quotients, operators, Fox-Glynn "
+            "windows)."
+        ),
+    )
+    parser.add_argument(
+        "--scenarios",
+        nargs="+",
+        default=None,
+        metavar="NAME",
+        help="registered scenario names (default: the whole paper portfolio)",
+    )
+    parser.add_argument(
+        "--clients",
+        type=int,
+        default=4,
+        help="number of concurrent clients submitting the portfolio (default: 4)",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=2,
+        help="portfolio rounds; warm rounds demonstrate the artifact cache (default: 2)",
+    )
+    parser.add_argument(
+        "--points",
+        type=int,
+        default=None,
+        help="override every scenario's grid resolution",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="coarse grids (same as --points 15)",
+    )
+    parser.add_argument(
+        "--lump",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="solve groups on cached ordinary-lumpability quotients (default: on)",
+    )
+    parser.add_argument(
+        "--window",
+        type=float,
+        default=0.05,
+        help="coalescing window in seconds (default: 0.05)",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=1024,
+        help="pending-request cap that cuts the window short (default: 1024)",
+    )
+    return parser
+
+
+def serve_main(argv: list[str] | None = None) -> int:
+    """Entry point of ``python -m repro serve``."""
+    from repro.service import ArtifactCache, ScenarioService, paper_registry
+
+    args = build_serve_parser().parse_args(argv)
+    registry = paper_registry()
+    names = args.scenarios if args.scenarios else list(registry.names)
+    for name in names:
+        if name not in registry:
+            print(
+                f"unknown scenario {name!r}; known: {', '.join(registry.names)}",
+                file=sys.stderr,
+            )
+            return 2
+    points = args.points if args.points is not None else (15 if args.fast else None)
+
+    async def run() -> None:
+        service = ScenarioService(
+            lump=args.lump,
+            coalesce_window=args.window,
+            max_batch=args.max_batch,
+            artifacts=ArtifactCache(),
+            registry=registry,
+        )
+        async with service:
+            # State-space construction (seconds on a cold process) must not
+            # block the event loop, so the portfolio is expanded once on a
+            # worker thread; every client then submits the same requests —
+            # which is also what lets the dispatcher coalesce them.
+            portfolio = await asyncio.get_running_loop().run_in_executor(
+                None,
+                lambda: [
+                    request
+                    for name in names
+                    for request in registry.expand(name, points=points)
+                ],
+            )
+            for round_index in range(max(1, args.repeat)):
+                cache_before = service.cache_stats()
+                sweeps_before = service.stats.session.sweeps
+
+                async def client() -> int:
+                    results = await service.submit_many(list(portfolio))
+                    return len(results)
+
+                curve_counts = await asyncio.gather(
+                    *(client() for _ in range(max(1, args.clients)))
+                )
+                miss_deltas = service.cache_stats().misses_since(cache_before)
+                recomputed = ", ".join(
+                    f"{kind}+{count}" for kind, count in sorted(miss_deltas.items())
+                )
+                print(
+                    f"[round {round_index + 1}] {sum(curve_counts)} curves for "
+                    f"{len(curve_counts)} clients, "
+                    f"sweeps +{service.stats.session.sweeps - sweeps_before}, "
+                    f"cache misses: {recomputed or 'none'}"
+                )
+            print(f"[{service.stats.summary()}]")
+            print(f"[{service.cache_stats().summary()}]")
+
+    asyncio.run(run())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``python -m repro`` and the ``repro-watertreatment`` script."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     points = args.points if args.points is not None else (21 if args.fast else 101)

@@ -14,6 +14,7 @@ construction), so every higher layer funnels into the same numerical code.
 
 from __future__ import annotations
 
+import hashlib
 from collections.abc import Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
 from typing import Any
@@ -157,6 +158,7 @@ class CTMC:
         # (see uniformized_matrix / uniformized_transpose).
         self._uniformized_cache: dict[float, sparse.csr_matrix] = {}
         self._uniformized_transpose_cache: dict[float, sparse.csr_matrix] = {}
+        self._fingerprint: str | None = None
 
     # ------------------------------------------------------------------
     # basic accessors
@@ -187,6 +189,28 @@ class CTMC:
         if self._num_states == 0:
             return 0.0
         return float(self._exit_rates.max())
+
+    @property
+    def fingerprint(self) -> str:
+        """A stable content hash of the chain's *dynamics* (the rate matrix).
+
+        Two chains with bit-identical sparse rate matrices share a
+        fingerprint, regardless of object identity, labels or initial
+        distribution — exactly the equivalence under which uniformization
+        sweeps, absorbing transforms and lumping quotients are reusable.
+        (Initial distributions are batch inputs of a sweep and labels are
+        resolved to masks before any cached artifact is built, so neither
+        belongs in the key.)  Computed lazily and cached: the rate matrix is
+        immutable after construction.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.sha256()
+            digest.update(np.int64(self._num_states).tobytes())
+            digest.update(self._rates.indptr.tobytes())
+            digest.update(self._rates.indices.tobytes())
+            digest.update(self._rates.data.tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     @property
     def initial_distribution(self) -> np.ndarray:

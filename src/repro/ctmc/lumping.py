@@ -22,24 +22,46 @@ from __future__ import annotations
 from collections import defaultdict
 
 import numpy as np
+from scipy import sparse
 
 from repro.ctmc.ctmc import CTMC, CTMCBuilder
 
+#: Decimal places rate signatures are rounded to before comparison; shared by
+#: the vectorized refinement and the reference loop so both split identically.
+_RATE_DECIMALS = 10
+
+
+def _first_seen_ids(keys: list) -> list[int]:
+    """Map each key to a block id in first-seen order (the loop's numbering)."""
+    ids: dict = {}
+    out = [0] * len(keys)
+    for index, key in enumerate(keys):
+        block = ids.get(key)
+        if block is None:
+            block = len(ids)
+            ids[key] = block
+        out[index] = block
+    return out
+
 
 def _initial_partition(chain: CTMC, respect_initial: bool) -> list[int]:
-    """Partition states by their label sets (and optionally initial mass)."""
-    blocks: dict[tuple, int] = {}
-    assignment = [0] * chain.num_states
-    initial = chain.initial_distribution
-    for state in range(chain.num_states):
-        key_parts: list = [tuple(sorted(chain.labels_of_state(state)))]
-        if respect_initial:
-            key_parts.append(round(float(initial[state]), 12))
-        key = tuple(key_parts)
-        if key not in blocks:
-            blocks[key] = len(blocks)
-        assignment[state] = blocks[key]
-    return assignment
+    """Partition states by their label sets (and optionally initial mass).
+
+    Built from the stacked label masks (one bool column per label, plus the
+    rounded initial distribution when requested): states with equal rows are
+    equivalent, and block ids are assigned in first-seen state order — the
+    same numbering the original per-state loop produced.
+    """
+    columns: list[np.ndarray] = [
+        chain.label_mask(name).astype(np.int8) for name in chain.label_names
+    ]
+    if respect_initial:
+        columns.append(np.round(chain.initial_distribution, 12))
+    if not columns:
+        return [0] * chain.num_states
+    stacked = np.ascontiguousarray(np.stack(columns, axis=1))
+    row_bytes = stacked.view(np.uint8).reshape(chain.num_states, -1)
+    return _first_seen_ids([row.tobytes() for row in row_bytes])
 
 
 def lumping_partition(
@@ -53,6 +75,13 @@ def lumping_partition(
     the same block agree on all labels and on the cumulative rate into every
     block.
 
+    Each refinement round is vectorized: the per-state cumulative rates into
+    the current blocks are one sparse mat–mat product ``R @ indicator`` (an
+    ``(n, num_blocks)`` CSR matrix), and states are re-split by unique rows
+    of that matrix — no per-state Python loop over transitions remains.  The
+    resulting partition is identical to the classical per-state refinement
+    (:func:`lumping_partition_reference`), which the tier-1 suite pins.
+
     Parameters
     ----------
     chain:
@@ -65,10 +94,68 @@ def lumping_partition(
         Optional safety bound; the refinement always terminates after at
         most ``num_states`` iterations.
     """
+    num_states = chain.num_states
     assignment = _initial_partition(chain, respect_initial)
     matrix = chain.rate_matrix.tocsr()
-    limit = max_iterations if max_iterations is not None else chain.num_states + 1
+    limit = max_iterations if max_iterations is not None else num_states + 1
 
+    for _ in range(limit):
+        num_blocks = max(assignment) + 1 if assignment else 0
+        indicator = sparse.csr_matrix(
+            (
+                np.ones(num_states),
+                (np.arange(num_states), np.asarray(assignment, dtype=int)),
+            ),
+            shape=(num_states, num_blocks),
+        )
+        block_rates = sparse.csr_matrix(matrix @ indicator)
+        block_rates.sort_indices()
+        # Round like the reference loop so float-noise never splits a block;
+        # entries rounding to zero are *kept* (a transition with a tiny rate
+        # is still a transition in the reference signature).
+        data = np.round(block_rates.data, _RATE_DECIMALS)
+        indptr = block_rates.indptr
+        indices = block_rates.indices
+        keys = [
+            (
+                assignment[state],
+                indices[indptr[state] : indptr[state + 1]].tobytes(),
+                data[indptr[state] : indptr[state + 1]].tobytes(),
+            )
+            for state in range(num_states)
+        ]
+        new_assignment = _first_seen_ids(keys)
+        if new_assignment == assignment:
+            break
+        assignment = new_assignment
+    return assignment
+
+
+def lumping_partition_reference(
+    chain: CTMC,
+    respect_initial: bool = False,
+    max_iterations: int | None = None,
+) -> list[int]:
+    """The original per-state refinement loop, kept as the test oracle.
+
+    Semantically identical to :func:`lumping_partition` but walks every
+    state's CSR row in Python; the tier-1 suite pins the vectorized
+    refinement against this implementation on a spread of chains.
+    """
+    blocks: dict[tuple, int] = {}
+    assignment = [0] * chain.num_states
+    initial = chain.initial_distribution
+    for state in range(chain.num_states):
+        key_parts: list = [tuple(sorted(chain.labels_of_state(state)))]
+        if respect_initial:
+            key_parts.append(round(float(initial[state]), 12))
+        key = tuple(key_parts)
+        if key not in blocks:
+            blocks[key] = len(blocks)
+        assignment[state] = blocks[key]
+
+    matrix = chain.rate_matrix.tocsr()
+    limit = max_iterations if max_iterations is not None else chain.num_states + 1
     for _ in range(limit):
         signatures: dict[tuple, int] = {}
         new_assignment = [0] * chain.num_states
@@ -79,7 +166,12 @@ def lumping_partition(
                 per_block[assignment[int(target)]] += float(rate)
             signature = (
                 assignment[state],
-                tuple(sorted((block, round(rate, 10)) for block, rate in per_block.items())),
+                tuple(
+                    sorted(
+                        (block, round(rate, _RATE_DECIMALS))
+                        for block, rate in per_block.items()
+                    )
+                ),
             )
             if signature not in signatures:
                 signatures[signature] = len(signatures)

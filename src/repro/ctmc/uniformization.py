@@ -39,7 +39,8 @@ so no per-``k`` Python scalar work remains on the hot path.
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+import threading
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -103,6 +104,21 @@ class UniformizationStats:
 #: this object to report *measured* matvec counts without plumbing a stats
 #: object through the measure layers.
 ENGINE_STATS = UniformizationStats()
+
+#: Counter updates happen once per sweep, so serialising them is free; the
+#: lock keeps the counters exact when the scenario service runs independent
+#: execution groups on worker threads.
+_STATS_LOCK = threading.Lock()
+
+#: Optional cache hooks for the sweep plumbing.  ``WindowLookup`` maps a
+#: Poisson rate ``q·t`` and an epsilon to Fox–Glynn weights (the default is
+#: :func:`repro.ctmc.foxglynn.fox_glynn`); ``OperatorLookup`` maps a chain to
+#: its ``(Pᵀ, q)`` forward operator (the default is
+#: :meth:`repro.ctmc.ctmc.CTMC.uniformized_transpose`).  The scenario
+#: service's process-wide artifact cache injects both so repeated portfolio
+#: sweeps stop recomputing identical windows and operators.
+WindowLookup = Callable[[float, float], FoxGlynnWeights]
+OperatorLookup = Callable[[CTMC], "tuple[sparse.csr_matrix, float]"]
 
 
 @dataclass(frozen=True)
@@ -286,12 +302,13 @@ def poisson_mixture_sweep(
                     axes=(0, 0),
                 )
 
-    for counters in (ENGINE_STATS, stats):
-        if counters is not None:
-            counters.matvecs += performed * num_columns
-            counters.applies += performed
-            counters.sparse_flops += performed * operator_nnz * num_columns
-            counters.sweeps += 1
+    with _STATS_LOCK:
+        for counters in (ENGINE_STATS, stats):
+            if counters is not None:
+                counters.matvecs += performed * num_columns
+                counters.applies += performed
+                counters.sparse_flops += performed * operator_nnz * num_columns
+                counters.sweeps += 1
 
     mixtures = (
         _squeeze_mixtures(np.swapaxes(mixtures_acc, 1, 2)) if collect_mixtures else None
@@ -313,6 +330,8 @@ def evaluate_grid_block(
     epsilon: float = DEFAULT_EPSILON,
     stats: UniformizationStats | None = None,
     block_size: int = DEFAULT_BLOCK_SIZE,
+    window_lookup: WindowLookup | None = None,
+    operator_lookup: OperatorLookup | None = None,
 ) -> BlockGridResult:
     """Evaluate a whole (initials × times × rewards) block in one sweep.
 
@@ -322,6 +341,11 @@ def evaluate_grid_block(
     every combination of initial distribution, grid point and reward column
     is folded into accumulators during one shared vector-power sweep, whose
     Fox–Glynn windows are computed once per distinct positive time point.
+
+    ``window_lookup`` and ``operator_lookup`` override how Fox–Glynn windows
+    and the forward operator are obtained (see :data:`WindowLookup` /
+    :data:`OperatorLookup`); they exist so a process-wide artifact cache can
+    serve both without this module depending on it.
 
     The grid may be unsorted and contain duplicates and ``t = 0``.
     """
@@ -374,11 +398,15 @@ def evaluate_grid_block(
             cum_out[:] = times_array[None, :, None] * initial_rates[:, None, :]
         return BlockGridResult(times_array.copy(), dist_out, inst_out, cum_out, 0, 0)
 
-    transposed, q = chain.uniformized_transpose()
+    if operator_lookup is not None:
+        transposed, q = operator_lookup(chain)
+    else:
+        transposed, q = chain.uniformized_transpose()
 
     unique_times, inverse = np.unique(times_array, return_inverse=True)
     positive = np.flatnonzero(unique_times > 0.0)
-    windows = [fox_glynn(q * float(unique_times[i]), epsilon) for i in positive]
+    make_window = fox_glynn if window_lookup is None else window_lookup
+    windows = [make_window(q * float(unique_times[i]), epsilon) for i in positive]
 
     local = UniformizationStats()
     mixtures, reward_sequence = poisson_mixture_sweep(

@@ -1,0 +1,60 @@
+"""Async scenario service: queued multi-client analysis with shared caches.
+
+The service layer turns the batched analysis session into a long-lived,
+multi-client component — the repo's step from "fast library call" toward
+the heavy-traffic north star:
+
+* :class:`ScenarioService` — an asyncio front end; many clients
+  ``await submit(...)`` measure requests (or registered scenario names), a
+  micro-batching dispatcher coalesces submissions across callers into one
+  plan per flush and executes independent groups on a worker pool;
+* :class:`ArtifactCache` / :data:`GLOBAL_ARTIFACTS` — the process-wide,
+  bounded, hit/miss-instrumented store of absorbing transforms, lumping
+  quotients, uniformized operators and Fox–Glynn windows, keyed by stable
+  chain fingerprints so artifacts survive across flushes, sessions and
+  rebuilt chains;
+* :class:`ScenarioRegistry` / :func:`paper_registry` — named scenario
+  specs for the paper's strategy × disaster × service-level grid, expanded
+  into concrete requests on demand.
+
+See ``examples/scenario_service.py`` for a runnable multi-client demo and
+``python -m repro serve`` for the portfolio-sweeping CLI.
+"""
+
+from repro.service.cache import (
+    DEFAULT_MAX_ENTRIES,
+    GLOBAL_ARTIFACTS,
+    ArtifactCache,
+    CacheKindStats,
+    CacheStats,
+)
+from repro.service.dispatcher import (
+    DEFAULT_COALESCE_WINDOW,
+    DEFAULT_MAX_BATCH,
+    ScenarioService,
+    ServiceClosed,
+    ServiceStats,
+)
+from repro.service.registry import (
+    MEASURES,
+    ScenarioRegistry,
+    ScenarioSpec,
+    paper_registry,
+)
+
+__all__ = [
+    "ArtifactCache",
+    "CacheKindStats",
+    "CacheStats",
+    "DEFAULT_COALESCE_WINDOW",
+    "DEFAULT_MAX_BATCH",
+    "DEFAULT_MAX_ENTRIES",
+    "GLOBAL_ARTIFACTS",
+    "MEASURES",
+    "ScenarioRegistry",
+    "ScenarioService",
+    "ScenarioSpec",
+    "ServiceClosed",
+    "ServiceStats",
+    "paper_registry",
+]

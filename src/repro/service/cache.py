@@ -1,0 +1,219 @@
+"""Process-wide artifact cache for expensive analysis intermediates.
+
+Scenario portfolios evaluate the same underlying Markov models over and
+over: every flush of the scenario service (and every standalone session
+pointed at the cache) needs the same absorbing transforms, the same lumping
+quotients, the same uniformized operators and largely the same Fox–Glynn
+windows.  :class:`ArtifactCache` keeps all four families in one bounded,
+hit/miss-instrumented LRU store:
+
+===============  =====================================================
+kind             key
+===============  =====================================================
+``transformed``  (chain fingerprint, absorbing-mask bytes)
+``quotient``     (chain fingerprint, observable signature)
+``operator``     (chain fingerprint, uniformization rate)
+``foxglynn``     (q·t, epsilon)
+===============  =====================================================
+
+Chains are keyed by :attr:`repro.ctmc.ctmc.CTMC.fingerprint` — a content
+hash of the rate matrix — so a *rebuilt* chain with identical dynamics
+still hits.  Fox–Glynn windows are keyed by the Poisson rate product
+``q·t`` alone, so groups on different chains with equal ``q·t`` (e.g. the
+FRF-1 and FFF-1 case-study chains, which share their uniformization rate)
+share windows too.
+
+The cache is thread-safe (the scenario service executes independent groups
+on a worker pool) and deliberately caches *negative* quotient results
+(``None`` — nothing collapsed) so repeat runs skip the refinement as well.
+:data:`GLOBAL_ARTIFACTS` is the process-wide default instance.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.ctmc.ctmc import CTMC
+from repro.ctmc.foxglynn import FoxGlynnWeights, fox_glynn
+
+#: Default bound on the number of cached artifacts (all kinds combined).
+DEFAULT_MAX_ENTRIES = 1024
+
+#: Sentinel distinguishing "never computed" from a cached ``None`` artifact.
+_ABSENT = object()
+
+
+@dataclass
+class CacheKindStats:
+    """Hit/miss/eviction counters for one artifact kind."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    def copy(self) -> "CacheKindStats":
+        return CacheKindStats(self.hits, self.misses, self.evictions)
+
+
+@dataclass
+class CacheStats:
+    """A snapshot of the cache's per-kind counters."""
+
+    kinds: dict[str, CacheKindStats] = field(default_factory=dict)
+
+    def kind(self, name: str) -> CacheKindStats:
+        return self.kinds.get(name, CacheKindStats())
+
+    def misses_since(self, earlier: "CacheStats") -> dict[str, int]:
+        """Per-kind miss deltas relative to an earlier snapshot.
+
+        The scenario-service benchmark gates on this: a repeat portfolio
+        sweep must report zero ``quotient`` and ``foxglynn`` misses.
+        """
+        return {
+            name: stats.misses - earlier.kind(name).misses
+            for name, stats in self.kinds.items()
+        }
+
+    def summary(self) -> str:
+        """One line for CLI output and logs."""
+        parts = [
+            f"{name}={stats.hits}h/{stats.misses}m"
+            + (f"/{stats.evictions}e" if stats.evictions else "")
+            for name, stats in sorted(self.kinds.items())
+        ]
+        return "cache: " + (" ".join(parts) if parts else "(empty)")
+
+
+class ArtifactCache:
+    """Bounded LRU cache of analysis artifacts, keyed by chain fingerprints.
+
+    Parameters
+    ----------
+    max_entries:
+        Upper bound on the number of stored artifacts across all kinds;
+        least-recently-used entries are evicted beyond it.
+    """
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = int(max_entries)
+        self._entries: OrderedDict[tuple, Any] = OrderedDict()
+        self._stats: dict[str, CacheKindStats] = {}
+        self._lock = threading.Lock()
+        self._building: dict[tuple, threading.Lock] = {}
+
+    # ------------------------------------------------------------------
+    def get_or_create(self, kind: str, key: tuple, factory: Callable[[], Any]) -> Any:
+        """Return the cached artifact for ``(kind, key)``, building it on miss.
+
+        Exactly-once construction without a global stall: the cache-wide
+        lock only guards the bookkeeping, while the factory runs under a
+        *per-key* build lock — concurrent lookups of the same key wait for
+        the one build (and then count a hit: nothing was recomputed), but
+        builds of unrelated keys proceed in parallel on the worker pool.
+        """
+        full_key = (kind, key)
+        with self._lock:
+            stats = self._stats.setdefault(kind, CacheKindStats())
+            value = self._entries.get(full_key, _ABSENT)
+            if value is not _ABSENT:
+                stats.hits += 1
+                self._entries.move_to_end(full_key)
+                return value
+            build_lock = self._building.setdefault(full_key, threading.Lock())
+        with build_lock:
+            with self._lock:
+                value = self._entries.get(full_key, _ABSENT)
+                if value is not _ABSENT:  # a racing thread built it meanwhile
+                    stats.hits += 1
+                    self._entries.move_to_end(full_key)
+                    return value
+            try:
+                value = factory()
+            except BaseException:
+                # Prune the build-lock entry so failed keys neither leak
+                # nor poison later (retried) lookups.
+                with self._lock:
+                    self._building.pop(full_key, None)
+                raise
+            with self._lock:
+                stats.misses += 1
+                self._entries[full_key] = value
+                self._building.pop(full_key, None)
+                while len(self._entries) > self.max_entries:
+                    evicted_key, _ = self._entries.popitem(last=False)
+                    self._stats.setdefault(
+                        evicted_key[0], CacheKindStats()
+                    ).evictions += 1
+            return value
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def clear(self) -> None:
+        """Drop all entries (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        """A consistent snapshot of the per-kind counters."""
+        with self._lock:
+            return CacheStats(
+                {name: counters.copy() for name, counters in self._stats.items()}
+            )
+
+    # ------------------------------------------------------------------
+    # typed convenience lookups (the keys documented in the module docstring)
+    # ------------------------------------------------------------------
+    def transformed_chain(self, base: CTMC, absorbing_mask: np.ndarray) -> CTMC:
+        """``base`` with the masked states made absorbing, cached by content."""
+        return self.get_or_create(
+            "transformed",
+            (base.fingerprint, absorbing_mask.tobytes()),
+            lambda: base.make_absorbing(absorbing_mask),
+        )
+
+    def quotient(self, chain: CTMC, signature: str, factory: Callable[[], Any]) -> Any:
+        """A lumping quotient per (chain, observable signature); may be ``None``."""
+        return self.get_or_create("quotient", (chain.fingerprint, signature), factory)
+
+    def uniformized_transpose(self, chain: CTMC) -> tuple[Any, float]:
+        """The forward operator ``(Pᵀ, q)`` of ``chain`` at its default rate.
+
+        Unlike :meth:`repro.ctmc.ctmc.CTMC.uniformized_transpose` this
+        returns the cached matrix itself (no defensive copy): the sweep
+        never mutates its operator, and skipping the copy is the point of
+        sharing it across flushes.
+        """
+        rate = float(chain.max_exit_rate)
+        return self.get_or_create(
+            "operator",
+            (chain.fingerprint, rate),
+            lambda: chain.uniformized_transpose(),
+        )
+
+    def fox_glynn_window(self, rate_product: float, epsilon: float) -> FoxGlynnWeights:
+        """Fox–Glynn weights for Poisson rate ``q·t``, shared across chains."""
+        return self.get_or_create(
+            "foxglynn",
+            (float(rate_product), float(epsilon)),
+            lambda: fox_glynn(rate_product, epsilon),
+        )
+
+
+#: The process-wide cache the scenario service (and anything else that asks
+#: for cross-session artifact sharing) uses by default.
+GLOBAL_ARTIFACTS = ArtifactCache()

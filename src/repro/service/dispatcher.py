@@ -1,0 +1,452 @@
+"""The asyncio scenario service: queued submissions, coalesced sweeps.
+
+:class:`ScenarioService` is the multi-client front end over the batched
+analysis machinery.  Many concurrent clients ``await service.submit(...)``
+(or :meth:`~ScenarioService.submit_scenario` with a registry name); a
+single dispatcher task collects submissions across callers for a short
+*coalescing window* — cut short when the *size cap* is reached — and then
+flushes the whole batch through one :func:`repro.analysis.build_plan` /
+execution-unit pass:
+
+* requests from different clients that agree on (chain, rate, grid,
+  epsilon) merge into one group and therefore one uniformization sweep, so
+  ``N`` clients asking for the same curve family cost no more sweeps than
+  one batched session;
+* independent execution units (regular groups, bundled interval
+  signatures) run concurrently on a worker thread pool;
+* every submission owns a future that is resolved with exactly its own
+  :class:`~repro.analysis.MeasureResult` slice — a poisoned request fails
+  its *own* future (at validation or execution time) without wedging the
+  dispatcher or the rest of its batch;
+* expensive intermediates (absorbing transforms, lumping quotients,
+  uniformized operators, Fox–Glynn windows) persist across flushes in a
+  process-wide :class:`repro.service.ArtifactCache`, so a repeat portfolio
+  sweep recomputes none of them.
+
+A quick example — three clients sharing one service::
+
+    async def client(service, disaster):
+        request = survivability_request(space, disaster, 1, times)
+        result = await service.submit(request)
+        return result.squeezed
+
+    async with ScenarioService(lump=True) as service:
+        curves = await asyncio.gather(
+            *(client(service, d) for d in disasters)
+        )
+        print(service.stats.summary())
+"""
+
+from __future__ import annotations
+
+import asyncio
+import warnings
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Any
+
+from repro.analysis import (
+    MeasureRequest,
+    MeasureResult,
+    SessionStats,
+    build_plan,
+    execution_units,
+    normalise_request,
+)
+from repro.ctmc.uniformization import DEFAULT_EPSILON, UniformizationStats
+from repro.service.cache import GLOBAL_ARTIFACTS, ArtifactCache, CacheStats
+from repro.service.registry import ScenarioRegistry, paper_registry
+
+#: Default coalescing window in seconds: long enough for an event-loop tick
+#: burst of client submissions to land in one flush, short enough to stay
+#: interactive.
+DEFAULT_COALESCE_WINDOW = 0.01
+
+#: Default size cap: a flush is triggered early once this many requests are
+#: pending, bounding both latency and batch memory.
+DEFAULT_MAX_BATCH = 256
+
+
+class ServiceClosed(RuntimeError):
+    """Raised by futures of submissions that a closing service abandoned."""
+
+
+@dataclass
+class ServiceStats:
+    """Counters describing what the service did across its lifetime.
+
+    ``session`` aggregates the usual planner/executor work counters
+    (requests, groups, sweeps, matvecs, lumping compression) over every
+    flush; the service-level counters describe the queueing layer above.
+    """
+
+    submissions: int = 0
+    completed: int = 0
+    failed: int = 0
+    flushes: int = 0
+    largest_flush: int = 0
+    session: SessionStats = field(default_factory=SessionStats)
+
+    @property
+    def coalesced_per_flush(self) -> float:
+        """Mean number of submissions sharing one plan (1.0 = no coalescing)."""
+        return self.session.requests / self.flushes if self.flushes else 0.0
+
+    def summary(self) -> str:
+        """One line for CLI output and logs."""
+        return (
+            f"service: submissions={self.submissions} flushes={self.flushes} "
+            f"coalesced/flush={self.coalesced_per_flush:.1f} "
+            f"largest_flush={self.largest_flush} failed={self.failed} | "
+            + self.session.summary()
+        )
+
+
+@dataclass
+class _Pending:
+    """One queued submission: the request plus the caller's future."""
+
+    request: MeasureRequest
+    future: asyncio.Future
+
+
+class ScenarioService:
+    """Queued multi-client front end over the batched analysis session.
+
+    Parameters
+    ----------
+    coalesce_window:
+        Seconds the dispatcher keeps collecting submissions after the first
+        pending one before flushing (``0`` flushes every loop tick).
+    max_batch:
+        Pending-request count that cuts the window short.
+    lump:
+        Solve every group on its ordinary-lumpability quotient (quotients
+        are cached process-wide per (chain, observable signature)).
+    batched:
+        ``False`` plans one group per request (comparison runs only).
+    epsilon:
+        Default Poisson-truncation error for requests without one.
+    artifacts:
+        The :class:`ArtifactCache` to use; defaults to the process-wide
+        :data:`repro.service.GLOBAL_ARTIFACTS`.  Pass a fresh cache for
+        isolated measurements.
+    max_workers:
+        Worker threads executing independent groups concurrently.
+    registry:
+        Scenario registry backing :meth:`submit_scenario`; defaults to the
+        paper's figure families (:func:`repro.service.paper_registry`).
+    """
+
+    def __init__(
+        self,
+        *,
+        coalesce_window: float = DEFAULT_COALESCE_WINDOW,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        lump: bool = False,
+        batched: bool = True,
+        epsilon: float = DEFAULT_EPSILON,
+        artifacts: ArtifactCache | None = None,
+        max_workers: int | None = None,
+        registry: ScenarioRegistry | None = None,
+    ) -> None:
+        if coalesce_window < 0:
+            raise ValueError("coalesce_window must be non-negative")
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        self.coalesce_window = float(coalesce_window)
+        self.max_batch = int(max_batch)
+        self.lump = lump
+        self.batched = batched
+        self.default_epsilon = float(epsilon)
+        self.artifacts = artifacts if artifacts is not None else GLOBAL_ARTIFACTS
+        self.registry = registry if registry is not None else paper_registry()
+        self.stats = ServiceStats()
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-service"
+        )
+        self._pending: list[_Pending] = []
+        self._arrival: asyncio.Event | None = None
+        self._idle: asyncio.Event | None = None  # set while nothing is queued/in flight
+        self._dispatcher: asyncio.Task | None = None
+        self._flushing = False
+        self._closed = False
+        self._drain_requested = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def __aenter__(self) -> "ScenarioService":
+        self._ensure_running()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    def _ensure_running(self) -> None:
+        if self._closed:
+            raise ServiceClosed("the scenario service has been closed")
+        if self._dispatcher is None or self._dispatcher.done():
+            if self._dispatcher is not None and not self._dispatcher.cancelled():
+                # A crashed dispatcher must not be respawned silently: the
+                # root cause is surfaced (once) before the replacement runs.
+                error = self._dispatcher.exception()
+                if error is not None:
+                    warnings.warn(
+                        f"scenario-service dispatcher crashed and is being "
+                        f"restarted ({type(error).__name__}: {error})",
+                        RuntimeWarning,
+                        stacklevel=3,
+                    )
+            self._arrival = asyncio.Event()
+            self._idle = asyncio.Event()
+            self._idle.set()
+            self._dispatcher = asyncio.get_running_loop().create_task(
+                self._dispatch_loop(), name="scenario-service-dispatcher"
+            )
+
+    async def close(self, drain: bool = True) -> None:
+        """Stop the dispatcher (after flushing pending work, by default).
+
+        Draining cuts the coalescing window short: whatever is pending is
+        flushed immediately rather than waiting out ``coalesce_window``.
+        """
+        if self._closed:
+            return
+        if drain:
+            self._drain_requested = True
+            if self._arrival is not None:
+                self._arrival.set()  # wake the window wait immediately
+            if self._idle is not None and (self._pending or self._flushing):
+                await self._idle.wait()
+        self._closed = True
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+        for pending in self._pending:
+            if not pending.future.done():
+                pending.future.set_exception(
+                    ServiceClosed("service closed before the request was executed")
+                )
+        self._pending.clear()
+        self._pool.shutdown(wait=False)
+
+    def cache_stats(self) -> CacheStats:
+        """Snapshot of the artifact cache's per-kind hit/miss counters."""
+        return self.artifacts.stats()
+
+    # ------------------------------------------------------------------
+    # submission API
+    # ------------------------------------------------------------------
+    def _enqueue(self, request: MeasureRequest) -> asyncio.Future:
+        self._ensure_running()
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending.append(_Pending(request=request, future=future))
+        self.stats.submissions += 1
+        assert self._arrival is not None and self._idle is not None
+        self._idle.clear()
+        self._arrival.set()
+        return future
+
+    async def submit(self, request: MeasureRequest) -> MeasureResult:
+        """Queue one request and await its result.
+
+        The call coalesces with every other submission pending in the same
+        window; the returned result is exactly the slice this request would
+        have received from a standalone session (values equal to 1e-12).
+        """
+        return await self._enqueue(request)
+
+    async def submit_many(self, requests: list[MeasureRequest]) -> list[MeasureResult]:
+        """Queue several requests at once and await all their results.
+
+        Raises the first failure, but only after every future has settled —
+        so sibling failures are all retrieved (no orphaned exceptions) and
+        the dispatcher is never left with half-awaited futures.
+        """
+        futures = [self._enqueue(request) for request in requests]
+        settled = await asyncio.gather(*futures, return_exceptions=True)
+        for outcome in settled:
+            if isinstance(outcome, BaseException):
+                raise outcome
+        return list(settled)
+
+    async def submit_scenario(
+        self, name: str, points: int | None = None
+    ) -> list[tuple[MeasureRequest, MeasureResult]]:
+        """Expand a registered scenario and await the whole family.
+
+        Returns ``(request, result)`` pairs so callers can use the request
+        tags ``(scenario, line, ..., strategy)`` to reassemble curves.
+        Expansion may build case-study state spaces (seconds of work on a
+        cold process), so it runs on the worker pool, keeping the event
+        loop — and every other client's submissions — responsive.
+        """
+        self._ensure_running()
+        requests = await asyncio.get_running_loop().run_in_executor(
+            self._pool, partial(self.registry.expand, name, points=points)
+        )
+        results = await self.submit_many(requests)
+        return list(zip(requests, results))
+
+    # ------------------------------------------------------------------
+    # dispatcher
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        assert self._arrival is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            await self._arrival.wait()
+            self._arrival.clear()
+            if not self._pending:
+                continue
+            # Coalescing window: keep collecting until it elapses or the
+            # size cap is reached.  Submissions landing mid-flush queue up
+            # for the next round.
+            if self.coalesce_window > 0.0:
+                deadline = loop.time() + self.coalesce_window
+                while (
+                    len(self._pending) < self.max_batch
+                    and not self._drain_requested
+                ):
+                    remaining = deadline - loop.time()
+                    if remaining <= 0.0:
+                        break
+                    try:
+                        await asyncio.wait_for(self._arrival.wait(), remaining)
+                    except asyncio.TimeoutError:
+                        break
+                    self._arrival.clear()
+            else:
+                # Window 0: give the current event-loop tick a chance to
+                # finish enqueueing (clients started together still merge).
+                await asyncio.sleep(0)
+                self._arrival.clear()
+            # The size cap genuinely bounds the flush: overflow from a
+            # burst stays queued and immediately triggers the next round.
+            batch = self._pending[: self.max_batch]
+            self._pending = self._pending[self.max_batch :]
+            if self._pending:
+                self._arrival.set()
+            self._flushing = True
+            try:
+                await self._flush(batch)
+            except BaseException as error:
+                # The dispatcher must never strand an in-flight batch: on
+                # cancellation (close(drain=False)) or an unexpected escape
+                # from _flush, every unresolved future of the batch is
+                # failed so awaiting clients wake up.
+                abandon = (
+                    ServiceClosed("service closed while the request was in flight")
+                    if isinstance(error, asyncio.CancelledError)
+                    else error
+                )
+                for pending in batch:
+                    self._fail(pending, abandon)
+                if isinstance(error, asyncio.CancelledError):
+                    raise
+                # Otherwise stay alive and keep serving later submissions.
+            finally:
+                self._flushing = False
+                if not self._pending:
+                    self._idle.set()
+
+    def _validate_and_plan(
+        self, batch: list[_Pending]
+    ) -> tuple[list[_Pending], list[tuple[_Pending, BaseException]], Any]:
+        """Validate each request and plan the survivors (worker-pool side).
+
+        Runs entirely off the event loop: per-submission validation means a
+        poisoned request is rejected here — failing only its own future —
+        and never reaches the shared plan.  (The survivors are normalised a
+        second time inside ``build_plan``; deriving the masks/vectors is
+        trivial next to the sweeps, and keeping the planner self-contained
+        is worth the duplication.)
+        """
+        survivors: list[_Pending] = []
+        rejected: list[tuple[_Pending, BaseException]] = []
+        for pending in batch:
+            try:
+                normalise_request(pending.request)
+            except Exception as error:
+                rejected.append((pending, error))
+            else:
+                survivors.append(pending)
+        plan = None
+        if survivors:
+            plan = build_plan(
+                [pending.request for pending in survivors],
+                lump=self.lump,
+                batched=self.batched,
+                default_epsilon=self.default_epsilon,
+                artifacts=self.artifacts,
+            )
+        return survivors, rejected, plan
+
+    async def _flush(self, batch: list[_Pending]) -> None:
+        self.stats.flushes += 1
+        self.stats.largest_flush = max(self.stats.largest_flush, len(batch))
+
+        loop = asyncio.get_running_loop()
+        try:
+            survivors, rejected, plan = await loop.run_in_executor(
+                self._pool, partial(self._validate_and_plan, batch)
+            )
+        except Exception as error:
+            # Planning over *validated* requests is essentially infallible
+            # (lumping failures degrade to unlumped groups inside
+            # build_plan); this is a genuine last resort.
+            for pending in batch:
+                self._fail(pending, error)
+            return
+        for pending, error in rejected:
+            self._fail(pending, error)
+        if plan is None:
+            return
+
+        results: list[MeasureResult | None] = [None] * plan.num_requests
+        errors: dict[int, BaseException] = {}
+        engines: list[UniformizationStats] = []
+
+        async def run_unit(unit) -> None:
+            # Units write disjoint results slots, so they may run
+            # concurrently; a failing unit poisons only its own members.
+            engine = UniformizationStats()
+            try:
+                await loop.run_in_executor(
+                    self._pool, unit.run, results, engine, self.artifacts
+                )
+            except Exception as error:
+                for index in unit.request_indices:
+                    errors[index] = error
+            engines.append(engine)
+
+        await asyncio.gather(*(run_unit(unit) for unit in execution_units(plan)))
+
+        session = self.stats.session
+        session.absorb_plan(plan)
+        for engine in engines:
+            session.absorb_engine(engine)
+
+        for position, pending in enumerate(survivors):
+            if position in errors:
+                self._fail(pending, errors[position])
+            elif results[position] is None:
+                self._fail(
+                    pending,
+                    RuntimeError("request was not resolved by any execution unit"),
+                )
+            else:
+                self.stats.completed += 1
+                if not pending.future.done():
+                    pending.future.set_result(results[position])
+
+    def _fail(self, pending: _Pending, error: BaseException) -> None:
+        if not pending.future.done():
+            self.stats.failed += 1
+            pending.future.set_exception(error)

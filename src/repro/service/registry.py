@@ -1,0 +1,268 @@
+"""Named scenario specs: the paper's strategy × disaster × service grid.
+
+A :class:`ScenarioSpec` declares a *family* of measure curves — a measure
+kind, one or more facility lines, repair-strategy configurations, disasters
+and service intervals, over a time grid — without touching any chain.
+:meth:`ScenarioSpec.expand` turns the spec into concrete
+:class:`repro.analysis.MeasureRequest` objects (building or reusing the
+cached case-study state spaces), which is what the scenario service
+consumes; every request is tagged ``(scenario, line, strategy, ...)`` so
+clients can reassemble their curves.
+
+:func:`paper_registry` pre-registers the paper's figure families (the same
+grids :mod:`repro.casestudy.experiments` reproduces); user-defined specs
+are added with :meth:`ScenarioRegistry.register`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.analysis import MeasureRequest
+from repro.arcade.repair import RepairStrategy
+from repro.casestudy.experiments import (
+    LINE1_SURVIVABILITY_STRATEGIES,
+    LINE2_COST_STRATEGIES,
+    line_service_interval_lower,
+    line_state_space,
+)
+from repro.casestudy.facility import (
+    DISASTER_1,
+    DISASTER_2,
+    LINE1,
+    LINE2,
+    PAPER_STRATEGIES,
+    StrategyConfiguration,
+)
+from repro.measures import (
+    accumulated_cost_request,
+    instantaneous_cost_request,
+    survivability_request,
+    unreliability_request,
+)
+
+#: Measure families a spec may declare.
+MEASURES = ("survivability", "unreliability", "instantaneous_cost", "accumulated_cost")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named family of measure curves over the case-study grid.
+
+    Attributes
+    ----------
+    name:
+        Registry key (also the first element of every expanded request's
+        ``tag``).
+    measure:
+        One of :data:`MEASURES`.
+    lines:
+        Facility lines to evaluate (``"line1"``/``"line2"``).
+    strategies:
+        Repair configurations to sweep.
+    disasters:
+        Disaster names (survivability and cost measures; ignored for
+        unreliability, which starts from the fully-up state).
+    interval_indices:
+        Service intervals (X1, X2, ... as indices) for survivability.
+    horizon, points:
+        The evenly spaced time grid ``linspace(0, horizon, points)``.
+    """
+
+    name: str
+    measure: str
+    lines: tuple[str, ...]
+    strategies: tuple[StrategyConfiguration, ...]
+    disasters: tuple[str, ...] = ()
+    interval_indices: tuple[int, ...] = (0,)
+    horizon: float = 100.0
+    points: int = 101
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.measure not in MEASURES:
+            raise ValueError(
+                f"unknown measure {self.measure!r}; expected one of {MEASURES}"
+            )
+
+    # ------------------------------------------------------------------
+    def times(self, points: int | None = None) -> np.ndarray:
+        return np.linspace(0.0, self.horizon, points if points else self.points)
+
+    def expand(self, points: int | None = None) -> list[MeasureRequest]:
+        """Concrete measure requests for every curve of the family."""
+        grid = self.times(points)
+        requests: list[MeasureRequest] = []
+        if self.measure == "unreliability":
+            for line in self.lines:
+                for configuration in self.strategies:
+                    requests.append(
+                        unreliability_request(
+                            line_state_space(line, configuration, with_repairs=False),
+                            grid,
+                            tag=(self.name, line, configuration.label),
+                        )
+                    )
+            return requests
+        if self.measure == "survivability":
+            for line in self.lines:
+                for interval_index in self.interval_indices:
+                    threshold = line_service_interval_lower(line, interval_index)
+                    for disaster in self.disasters:
+                        for configuration in self.strategies:
+                            requests.append(
+                                survivability_request(
+                                    line_state_space(line, configuration),
+                                    disaster,
+                                    threshold,
+                                    grid,
+                                    tag=(
+                                        self.name,
+                                        line,
+                                        disaster,
+                                        interval_index,
+                                        configuration.label,
+                                    ),
+                                )
+                            )
+            return requests
+        builder = (
+            instantaneous_cost_request
+            if self.measure == "instantaneous_cost"
+            else accumulated_cost_request
+        )
+        for line in self.lines:
+            for disaster in self.disasters:
+                for configuration in self.strategies:
+                    requests.append(
+                        builder(
+                            line_state_space(line, configuration),
+                            grid,
+                            disaster,
+                            tag=(self.name, line, disaster, configuration.label),
+                        )
+                    )
+        return requests
+
+
+class ScenarioRegistry:
+    """Named scenario specs; pre-populate with :func:`paper_registry`."""
+
+    def __init__(self, specs: Iterable[ScenarioSpec] = ()) -> None:
+        self._specs: dict[str, ScenarioSpec] = {}
+        for spec in specs:
+            self.register(spec)
+
+    def register(self, spec: ScenarioSpec, replace_existing: bool = False) -> None:
+        """Add a (user-defined) spec; refuses to shadow unless asked to."""
+        if spec.name in self._specs and not replace_existing:
+            raise ValueError(f"scenario {spec.name!r} is already registered")
+        self._specs[spec.name] = spec
+
+    def get(self, name: str) -> ScenarioSpec:
+        try:
+            return self._specs[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown scenario {name!r}; known: {', '.join(self.names) or '(none)'}"
+            ) from None
+
+    def expand(self, name: str, points: int | None = None) -> list[MeasureRequest]:
+        """Expand the named spec into measure requests."""
+        return self.get(name).expand(points=points)
+
+    def with_points(self, name: str, points: int) -> ScenarioSpec:
+        """A copy of the named spec on a coarser/finer grid."""
+        return replace(self.get(name), points=points)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._specs
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+
+def paper_registry() -> ScenarioRegistry:
+    """The paper's figure families as ready-to-expand scenario specs."""
+    return ScenarioRegistry(
+        (
+            ScenarioSpec(
+                name="fig3",
+                measure="unreliability",
+                lines=(LINE1, LINE2),
+                strategies=(StrategyConfiguration(RepairStrategy.DEDICATED, 1),),
+                horizon=1000.0,
+                points=101,
+                description="Reliability of both lines over time (no repairs)",
+            ),
+            ScenarioSpec(
+                name="fig4_5",
+                measure="survivability",
+                lines=(LINE1,),
+                strategies=LINE1_SURVIVABILITY_STRATEGIES,
+                disasters=(DISASTER_1,),
+                interval_indices=(0, 1),
+                horizon=4.5,
+                points=91,
+                description="Line 1 recovery to X1/X2 after Disaster 1",
+            ),
+            ScenarioSpec(
+                name="fig6",
+                measure="instantaneous_cost",
+                lines=(LINE1,),
+                strategies=LINE1_SURVIVABILITY_STRATEGIES,
+                disasters=(DISASTER_1,),
+                horizon=4.5,
+                points=46,
+                description="Instantaneous cost, Line 1, Disaster 1",
+            ),
+            ScenarioSpec(
+                name="fig7",
+                measure="accumulated_cost",
+                lines=(LINE1,),
+                strategies=LINE1_SURVIVABILITY_STRATEGIES,
+                disasters=(DISASTER_1,),
+                horizon=10.0,
+                points=23,
+                description="Accumulated cost, Line 1, Disaster 1",
+            ),
+            ScenarioSpec(
+                name="fig8_9",
+                measure="survivability",
+                lines=(LINE2,),
+                strategies=PAPER_STRATEGIES,
+                disasters=(DISASTER_2,),
+                interval_indices=(0, 2),
+                horizon=100.0,
+                points=101,
+                description="Line 2 recovery to X1/X3 after Disaster 2",
+            ),
+            ScenarioSpec(
+                name="fig10",
+                measure="instantaneous_cost",
+                lines=(LINE2,),
+                strategies=LINE2_COST_STRATEGIES,
+                disasters=(DISASTER_2,),
+                horizon=50.0,
+                points=51,
+                description="Instantaneous cost, Line 2, Disaster 2",
+            ),
+            ScenarioSpec(
+                name="fig11",
+                measure="accumulated_cost",
+                lines=(LINE2,),
+                strategies=LINE2_COST_STRATEGIES,
+                disasters=(DISASTER_2,),
+                horizon=50.0,
+                points=25,
+                description="Accumulated cost, Line 2, Disaster 2",
+            ),
+        )
+    )

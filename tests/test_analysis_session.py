@@ -256,6 +256,68 @@ class TestExecutorBatching:
             reference = float(chain.initial_distribution @ per_state)
             assert value == pytest.approx(reference, abs=1e-10)
 
+    def test_interval_groups_share_phases_across_grids(self):
+        # Interval groups with equal (safe, target, lower) but different
+        # grids are bundled: one backward sweep over the union of horizons
+        # plus one forward sweep — 2 sweeps total instead of 2 per grid.
+        chain = random_chain(9, seed=16)
+        grids = ([1.0, 2.5], [1.5, 3.0, 4.0], [0.75])
+        stats = SessionStats()
+        session = AnalysisSession(stats=stats)
+        indices = [
+            session.request(
+                chain, grid, kind=MeasureKind.INTERVAL_REACHABILITY,
+                target="target", lower=0.5,
+            )
+            for grid in grids
+        ]
+        results = session.execute()
+        assert stats.groups == len(grids)  # still one group per grid
+        assert stats.sweeps == 2  # ... but the phases are shared
+        for grid, index in zip(grids, indices):
+            single = AnalysisSession()
+            single_index = single.request(
+                chain, grid, kind=MeasureKind.INTERVAL_REACHABILITY,
+                target="target", lower=0.5,
+            )
+            np.testing.assert_allclose(
+                results[index].squeezed,
+                single.execute()[single_index].squeezed,
+                atol=1e-12,
+            )
+
+    def test_unbatched_interval_groups_do_not_bundle(self):
+        # batched=False is the per-request comparison baseline: identical
+        # interval requests must keep their independent backward/forward
+        # sweeps (2 each) instead of sharing them.
+        chain = random_chain(9, seed=18)
+        stats = SessionStats()
+        session = AnalysisSession(batched=False, stats=stats)
+        for _ in range(2):
+            session.request(
+                chain, [1.0, 2.0], kind=MeasureKind.INTERVAL_REACHABILITY,
+                target="target", lower=0.5,
+            )
+        session.execute()
+        assert stats.groups == 2
+        assert stats.sweeps == 4
+
+    def test_interval_groups_with_different_signatures_do_not_bundle(self):
+        chain = random_chain(9, seed=17)
+        stats = SessionStats()
+        session = AnalysisSession(stats=stats)
+        session.request(
+            chain, [1.0], kind=MeasureKind.INTERVAL_REACHABILITY,
+            target="target", lower=0.5,
+        )
+        session.request(  # different lower bound: its own backward phase
+            chain, [1.5], kind=MeasureKind.INTERVAL_REACHABILITY,
+            target="target", lower=0.75,
+        )
+        session.execute()
+        assert stats.groups == 2
+        assert stats.sweeps == 4
+
 
 # ---------------------------------------------------------------------------
 # acceptance: the Figure 4/5 family costs one sweep per (chain, rate, grid)

@@ -14,7 +14,7 @@ from repro.ctmc import (
     uniformized_dtmc,
 )
 from repro.ctmc.dtmc import unbounded_reachability
-from repro.ctmc.lumping import count_blocks
+from repro.ctmc.lumping import count_blocks, lumping_partition_reference
 
 
 def symmetric_two_component_chain() -> CTMC:
@@ -81,6 +81,70 @@ class TestLumping:
         quotient, _ = lump_ctmc(chain)
         quotient2, _ = lump_ctmc(quotient)
         assert quotient2.num_states == quotient.num_states
+
+
+class TestVectorizedRefinement:
+    """The sparse `R @ indicator` refinement must equal the per-state loop."""
+
+    @staticmethod
+    def random_labelled_chain(num_states: int, seed: int, labels: int = 2) -> CTMC:
+        rng = np.random.default_rng(seed)
+        rates = rng.random((num_states, num_states)) * (
+            rng.random((num_states, num_states)) < 0.3
+        )
+        np.fill_diagonal(rates, 0.0)
+        rates[0, 1] = max(rates[0, 1], 0.25)  # guarantee a transition
+        label_sets = {
+            f"ap{index}": np.flatnonzero(
+                rng.integers(0, 2, size=num_states).astype(bool)
+            )
+            for index in range(labels)
+        }
+        return CTMC(rates, {0: 1.0}, labels=label_sets)
+
+    def test_matches_reference_on_symmetric_chain(self):
+        chain = symmetric_two_component_chain()
+        assert lumping_partition(chain) == lumping_partition_reference(chain)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3])
+    @pytest.mark.parametrize("num_states", [5, 17, 40])
+    def test_matches_reference_on_random_chains(self, num_states, seed):
+        chain = self.random_labelled_chain(num_states, seed)
+        assert lumping_partition(chain) == lumping_partition_reference(chain)
+
+    @pytest.mark.parametrize("respect_initial", [False, True])
+    def test_matches_reference_with_initial_splitting(self, respect_initial):
+        chain = self.random_labelled_chain(23, seed=7)
+        spread = chain.with_initial_distribution(
+            np.linspace(1.0, 2.0, 23) / np.linspace(1.0, 2.0, 23).sum()
+        )
+        assert lumping_partition(
+            spread, respect_initial=respect_initial
+        ) == lumping_partition_reference(spread, respect_initial=respect_initial)
+
+    def test_matches_reference_on_a_replicated_symmetric_chain(self):
+        # A chain with large lumpable blocks: many exchangeable components.
+        lam, mu, n = 0.2, 1.5, 6
+        size = 2**n
+        rates = np.zeros((size, size))
+        for state in range(size):
+            for bit in range(n):
+                other = state ^ (1 << bit)
+                rates[state, other] = lam if state < other else mu
+        down_count = np.array([bin(s).count("1") for s in range(size)])
+        chain = CTMC(
+            rates,
+            {0: 1.0},
+            labels={"all_up": [0], "degraded": np.flatnonzero(down_count >= n - 1)},
+        )
+        vectorized = lumping_partition(chain)
+        assert vectorized == lumping_partition_reference(chain)
+        # the exchangeable structure must actually collapse the state space
+        assert count_blocks(vectorized) < size
+
+    def test_unlabelled_chain_collapses_to_rate_classes(self):
+        chain = self.random_labelled_chain(12, seed=11, labels=0)
+        assert lumping_partition(chain) == lumping_partition_reference(chain)
 
 
 class TestDTMC:

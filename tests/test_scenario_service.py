@@ -1,0 +1,400 @@
+"""Tests for the async scenario service (`repro.service`).
+
+Covers the acceptance criteria of the service subsystem: concurrent
+submissions from many client tasks coalesce into the asserted number of
+uniformization sweeps (no more than one batched session), per-caller result
+slices match single-request sessions to <= 1e-12, the artifact cache is
+bounded and LRU-evicts with instrumented counters, repeat runs report zero
+quotient/Fox-Glynn recomputation, and a poisoned request fails its own
+future without wedging the dispatcher.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.analysis import AnalysisSession, MeasureKind, MeasureRequest, SessionStats
+from repro.ctmc import CTMC
+from repro.ctmc.ctmc import CTMCError
+from repro.ctmc.foxglynn import fox_glynn
+from repro.service import (
+    ArtifactCache,
+    ScenarioService,
+    ServiceClosed,
+    paper_registry,
+)
+
+
+def random_chain(num_states: int, seed: int) -> CTMC:
+    rng = np.random.default_rng(seed)
+    rates = rng.random((num_states, num_states)) * (
+        rng.random((num_states, num_states)) < 0.35
+    )
+    rates[0, 1] = 0.5
+    np.fill_diagonal(rates, 0.0)
+    initial = rng.random(num_states)
+    return CTMC(
+        rates,
+        initial / initial.sum(),
+        labels={"target": [num_states - 1], "bad": [0]},
+    )
+
+
+def fig45_family_requests(points: int = 7) -> list[MeasureRequest]:
+    """The six Fig. 4/5 curves (3 strategies x intervals X1/X2) as requests.
+
+    Expanded from the registry spec so tests, benchmarks and the service
+    all exercise the identical family definition.
+    """
+    return paper_registry().expand("fig4_5", points=points)
+
+
+# ---------------------------------------------------------------------------
+# coalescing across concurrent clients
+# ---------------------------------------------------------------------------
+class TestCoalescing:
+    def test_fig45_clients_cost_no_more_sweeps_than_one_batched_session(self):
+        """The tentpole acceptance gate, on the paper's Fig. 4/5 family."""
+        num_clients = 3
+        family = fig45_family_requests()
+
+        # Baseline: ONE batched session of the unique family.
+        baseline_stats = SessionStats()
+        baseline = AnalysisSession(stats=baseline_stats)
+        indices = [baseline.add(request) for request in family]
+        baseline_results = baseline.execute()
+        reference = [baseline_results[index].squeezed for index in indices]
+
+        async def run() -> tuple[list, ScenarioService]:
+            service = ScenarioService(
+                artifacts=ArtifactCache(),
+                coalesce_window=5.0,  # never elapses: the size cap flushes
+                max_batch=num_clients * len(family),
+            )
+            async with service:
+                async def client() -> list[np.ndarray]:
+                    results = await service.submit_many(fig45_family_requests())
+                    return [result.squeezed for result in results]
+
+                curves = await asyncio.gather(*(client() for _ in range(num_clients)))
+            return curves, service
+
+        curves, service = asyncio.run(run())
+        assert service.stats.flushes == 1
+        assert service.stats.session.requests == num_clients * len(family)
+        # N clients may not cost more sweeps than the single batched session
+        assert service.stats.session.sweeps <= baseline_stats.sweeps
+        assert service.stats.session.sweeps == baseline_stats.groups
+        for client_curves in curves:
+            for curve, expected in zip(client_curves, reference):
+                np.testing.assert_allclose(curve, expected, atol=1e-12)
+
+    def test_slices_match_single_request_sessions(self):
+        chain_a = random_chain(9, seed=0)
+        chain_b = random_chain(7, seed=1)
+        grid = [0.0, 0.5, 2.0]
+        rewards = np.arange(7.0)
+        requests = [
+            MeasureRequest(chain=chain_a, times=grid, kind=MeasureKind.REACHABILITY,
+                           target="target"),
+            MeasureRequest(chain=chain_a, times=grid, kind=MeasureKind.TRANSIENT),
+            MeasureRequest(chain=chain_b, times=grid,
+                           kind=MeasureKind.CUMULATIVE_REWARD, rewards=rewards),
+            MeasureRequest(chain=chain_b, times=grid,
+                           kind=MeasureKind.INSTANTANEOUS_REWARD, rewards=rewards),
+        ]
+
+        async def run():
+            async with ScenarioService(
+                artifacts=ArtifactCache(), coalesce_window=5.0, max_batch=len(requests)
+            ) as service:
+                return await asyncio.gather(
+                    *(service.submit(request) for request in requests)
+                )
+
+        results = asyncio.run(run())
+        for request, result in zip(requests, results):
+            single = AnalysisSession()
+            index = single.add(request)
+            expected = single.execute()[index]
+            np.testing.assert_allclose(
+                result.values, expected.values, atol=1e-12
+            )
+
+    def test_submissions_after_a_flush_start_a_new_batch(self):
+        chain = random_chain(6, seed=2)
+        request = MeasureRequest(chain=chain, times=[1.0], kind=MeasureKind.TRANSIENT)
+
+        async def run():
+            async with ScenarioService(
+                artifacts=ArtifactCache(), coalesce_window=0.0, max_batch=4
+            ) as service:
+                first = await service.submit(request)
+                second = await service.submit(request)
+                return first, second, service.stats.flushes
+
+        first, second, flushes = asyncio.run(run())
+        assert flushes == 2
+        np.testing.assert_allclose(first.values, second.values, atol=0.0)
+
+
+# ---------------------------------------------------------------------------
+# artifact cache: bounding, eviction, repeat-run hits
+# ---------------------------------------------------------------------------
+class TestArtifactCache:
+    def test_bounded_lru_eviction(self):
+        cache = ArtifactCache(max_entries=2)
+        cache.fox_glynn_window(1.0, 1e-10)
+        cache.fox_glynn_window(2.0, 1e-10)
+        cache.fox_glynn_window(1.0, 1e-10)  # refresh 1.0 -> 2.0 becomes LRU
+        cache.fox_glynn_window(3.0, 1e-10)  # evicts 2.0
+        assert len(cache) == 2
+        stats = cache.stats().kind("foxglynn")
+        assert stats.evictions == 1
+        assert stats.hits == 1
+        misses_before = cache.stats().kind("foxglynn").misses
+        cache.fox_glynn_window(1.0, 1e-10)  # still cached: no new miss
+        cache.fox_glynn_window(2.0, 1e-10)  # was evicted: one new miss
+        assert cache.stats().kind("foxglynn").misses == misses_before + 1
+
+    def test_rejects_degenerate_bound(self):
+        with pytest.raises(ValueError):
+            ArtifactCache(max_entries=0)
+
+    def test_window_values_match_direct_fox_glynn(self):
+        cache = ArtifactCache()
+        window = cache.fox_glynn_window(7.5, 1e-12)
+        direct = fox_glynn(7.5, 1e-12)
+        assert window.left == direct.left and window.right == direct.right
+        np.testing.assert_allclose(window.weights, direct.weights)
+
+    def test_transformed_chain_hits_across_equal_content(self):
+        chain = random_chain(8, seed=3)
+        rebuilt = CTMC(
+            chain.rate_matrix.copy(), chain.initial_distribution,
+            labels={"target": [7]},
+        )
+        mask = np.zeros(8, dtype=bool)
+        mask[7] = True
+        cache = ArtifactCache()
+        first = cache.transformed_chain(chain, mask)
+        second = cache.transformed_chain(rebuilt, mask)  # same fingerprint
+        assert first is second
+        stats = cache.stats().kind("transformed")
+        assert (stats.hits, stats.misses) == (1, 1)
+
+    def test_repeat_portfolio_has_zero_quotient_and_window_misses(self):
+        family = fig45_family_requests(points=5)
+        cache = ArtifactCache()
+
+        async def sweep() -> None:
+            async with ScenarioService(
+                artifacts=cache, lump=True,
+                coalesce_window=5.0, max_batch=len(family),
+            ) as service:
+                await service.submit_many(fig45_family_requests(points=5))
+
+        asyncio.run(sweep())
+        warm_before = cache.stats()
+        assert warm_before.kind("quotient").misses > 0
+        assert warm_before.kind("foxglynn").misses > 0
+        asyncio.run(sweep())
+        deltas = cache.stats().misses_since(warm_before)
+        assert deltas["quotient"] == 0
+        assert deltas["foxglynn"] == 0
+        assert deltas["transformed"] == 0
+        assert deltas["operator"] == 0
+
+    def test_quotient_signature_ignores_member_multiplicity_and_order(self):
+        # A re-coalesced batch (e.g. two clients instead of one, or members
+        # arriving in a different order) observes the same distinct vectors
+        # and must hit the cached quotient, not recompute it.
+        family = fig45_family_requests(points=5)
+        cache = ArtifactCache()
+        session = AnalysisSession(lump=True, artifacts=cache)
+        for request in family:
+            session.add(request)
+        session.execute()
+        snapshot = cache.stats()
+        doubled = AnalysisSession(lump=True, artifacts=cache)
+        for request in list(reversed(family)) + family:  # 2 "clients", reordered
+            doubled.add(request)
+        doubled.execute()
+        assert cache.stats().misses_since(snapshot)["quotient"] == 0
+
+    def test_plain_sessions_share_the_injected_cache(self):
+        family = fig45_family_requests(points=5)
+        cache = ArtifactCache()
+        for _ in range(2):
+            session = AnalysisSession(lump=True, artifacts=cache)
+            indices = [session.add(request) for request in fig45_family_requests(points=5)]
+            session.execute()
+        assert cache.stats().kind("quotient").hits > 0
+        # and the cached path returns the same values as the uncached one
+        session = AnalysisSession(lump=True, artifacts=cache)
+        cached_indices = [session.add(request) for request in family]
+        cached = session.execute()
+        plain_session = AnalysisSession(lump=True)
+        plain_indices = [plain_session.add(request) for request in family]
+        plain = plain_session.execute()
+        for cached_index, plain_index in zip(cached_indices, plain_indices):
+            np.testing.assert_allclose(
+                cached[cached_index].values, plain[plain_index].values, atol=1e-12
+            )
+
+
+# ---------------------------------------------------------------------------
+# failure isolation
+# ---------------------------------------------------------------------------
+class TestFailureIsolation:
+    def test_invalid_request_fails_its_own_future_only(self):
+        chain = random_chain(6, seed=4)
+        good = MeasureRequest(chain=chain, times=[1.0], kind=MeasureKind.TRANSIENT)
+        poisoned = MeasureRequest(
+            chain=chain, times=[1.0], kind=MeasureKind.REACHABILITY  # no target
+        )
+
+        async def run():
+            async with ScenarioService(
+                artifacts=ArtifactCache(), coalesce_window=5.0, max_batch=3
+            ) as service:
+                futures = await asyncio.gather(
+                    service.submit(good),
+                    service.submit(poisoned),
+                    service.submit(good),
+                    return_exceptions=True,
+                )
+                # the dispatcher must still serve new submissions afterwards
+                followup = await service.submit(good)
+                return futures, followup, service.stats
+
+        (first, error, third), followup, stats = asyncio.run(run())
+        assert isinstance(error, CTMCError)
+        np.testing.assert_allclose(first.values, third.values, atol=0.0)
+        np.testing.assert_allclose(followup.values, first.values, atol=1e-12)
+        assert stats.failed == 1
+        assert stats.completed == 3
+
+    def test_execution_error_fails_only_its_group(self):
+        chain = random_chain(6, seed=5)
+        good = MeasureRequest(chain=chain, times=[1.0], kind=MeasureKind.TRANSIENT)
+        # epsilon outside (0, 1) passes request validation but blows up in
+        # the Fox-Glynn window build of its own (separately-keyed) group.
+        poisoned = MeasureRequest(
+            chain=chain, times=[1.0], kind=MeasureKind.TRANSIENT, epsilon=1.5
+        )
+
+        async def run():
+            async with ScenarioService(
+                artifacts=ArtifactCache(), coalesce_window=5.0, max_batch=2
+            ) as service:
+                return await asyncio.gather(
+                    service.submit(good),
+                    service.submit(poisoned),
+                    return_exceptions=True,
+                )
+
+        good_result, error = asyncio.run(run())
+        assert isinstance(error, ValueError)
+        single = AnalysisSession()
+        index = single.add(good)
+        np.testing.assert_allclose(
+            good_result.values, single.execute()[index].values, atol=1e-12
+        )
+
+    def test_close_without_drain_fails_queued_futures(self):
+        # Submissions still waiting out the coalescing window must not hang
+        # when the service is torn down without draining.
+        chain = random_chain(5, seed=12)
+        request = MeasureRequest(chain=chain, times=[1.0], kind=MeasureKind.TRANSIENT)
+
+        async def run():
+            service = ScenarioService(
+                artifacts=ArtifactCache(), coalesce_window=30.0, max_batch=99
+            )
+            async with service:
+                submission = asyncio.ensure_future(service.submit(request))
+                await asyncio.sleep(0.05)  # queued, window still open
+                await service.close(drain=False)
+                with pytest.raises(ServiceClosed):
+                    await submission
+
+        asyncio.run(run())
+
+    def test_closed_service_rejects_submissions(self):
+        chain = random_chain(5, seed=6)
+        request = MeasureRequest(chain=chain, times=[1.0], kind=MeasureKind.TRANSIENT)
+
+        async def run():
+            service = ScenarioService(artifacts=ArtifactCache())
+            async with service:
+                await service.submit(request)
+            with pytest.raises(ServiceClosed):
+                await service.submit(request)
+
+        asyncio.run(run())
+
+
+# ---------------------------------------------------------------------------
+# scenario registry
+# ---------------------------------------------------------------------------
+class TestScenarioRegistry:
+    def test_paper_portfolio_names(self):
+        registry = paper_registry()
+        for name in ("fig3", "fig4_5", "fig6", "fig7", "fig8_9", "fig10", "fig11"):
+            assert name in registry
+
+    def test_fig45_spec_expands_to_the_figure_family(self):
+        registry = paper_registry()
+        requests = registry.expand("fig4_5", points=5)
+        assert len(requests) == 6  # 3 strategies x intervals X1/X2
+        tags = {request.tag for request in requests}
+        assert all(tag[0] == "fig4_5" for tag in tags)
+        assert {tag[3] for tag in tags} == {0, 1}
+        assert all(request.kind is MeasureKind.REACHABILITY for request in requests)
+        assert all(len(np.asarray(request.times)) == 5 for request in requests)
+
+    def test_unknown_and_duplicate_names_are_rejected(self):
+        registry = paper_registry()
+        with pytest.raises(KeyError):
+            registry.expand("no_such_scenario")
+        with pytest.raises(ValueError):
+            registry.register(registry.get("fig3"))
+        registry.register(registry.get("fig3"), replace_existing=True)
+
+    def test_submit_scenario_returns_tagged_pairs(self):
+        async def run():
+            async with ScenarioService(
+                artifacts=ArtifactCache(), coalesce_window=0.02
+            ) as service:
+                return await service.submit_scenario("fig4_5", points=5)
+
+        pairs = asyncio.run(run())
+        assert len(pairs) == 6
+        for request, result in pairs:
+            assert result.request is request
+            assert request.tag[0] == "fig4_5"
+            assert result.squeezed.shape == (5,)
+
+
+# ---------------------------------------------------------------------------
+# chain fingerprints (the cache keys)
+# ---------------------------------------------------------------------------
+class TestChainFingerprints:
+    def test_equal_content_equal_fingerprint(self):
+        chain = random_chain(8, seed=7)
+        rebuilt = CTMC(chain.rate_matrix.copy(), chain.initial_distribution)
+        assert chain.fingerprint == rebuilt.fingerprint
+
+    def test_labels_and_initials_do_not_change_the_fingerprint(self):
+        chain = random_chain(8, seed=8)
+        relabelled = chain.restrict_labels(extra=[0, 1])
+        moved = chain.with_initial_distribution({3: 1.0})
+        assert chain.fingerprint == relabelled.fingerprint
+        assert chain.fingerprint == moved.fingerprint
+
+    def test_different_rates_different_fingerprint(self):
+        assert random_chain(8, seed=9).fingerprint != random_chain(8, seed=10).fingerprint
