@@ -20,6 +20,7 @@ from repro.analysis.planner import (
     normalise_request,
 )
 from repro.analysis.requests import (
+    LONGRUN_KINDS,
     MeasureKind,
     MeasureRequest,
     MeasureResult,
@@ -27,6 +28,7 @@ from repro.analysis.requests import (
 from repro.analysis.session import AnalysisSession, SessionStats
 
 __all__ = [
+    "LONGRUN_KINDS",
     "AnalysisSession",
     "ExecutionGroup",
     "ExecutionPlan",

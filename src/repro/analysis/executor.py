@@ -24,6 +24,13 @@ union of every grid's residual horizons and the forward phase runs once
 with every grid's value vectors stacked on the reward axis, so ``G`` grids
 cost two sweeps total instead of two each.
 
+Long-run groups (steady state, unbounded reachability, reachability
+rewards) never sweep at all: each becomes one unit that routes through the
+cached linear-solver engine (:mod:`repro.ctmc.linsolve`) — at most one LU
+factorization per group, its members' observables stacked as right-hand-side
+columns, and BSCC decompositions / stationary vectors / factorizations
+fetched from the artifact cache when one is attached.
+
 When the planner attached a quotient (:class:`~repro.analysis.planner.LumpedChain`),
 the sweep runs on the quotient chain: initial distributions are projected
 blockwise and the observable vectors are restricted to one value per block
@@ -46,7 +53,15 @@ from typing import Any
 import numpy as np
 
 from repro.ctmc.ctmc import CTMC
+from repro.ctmc.dtmc import unbounded_reachability
 from repro.ctmc.foxglynn import fox_glynn
+from repro.ctmc.linsolve import (
+    LinearSolveStats,
+    SolverEngine,
+    expected_values_under,
+    reachability_reward_values,
+)
+from repro.ctmc.steady_state import steady_state_distribution_block
 from repro.ctmc.uniformization import (
     UniformizationStats,
     evaluate_grid_block,
@@ -94,6 +109,7 @@ class ExecutionUnit:
 
     groups: list[tuple[int, ExecutionGroup]]
     interval: bool = False
+    longrun: bool = False
 
     @property
     def request_indices(self) -> list[int]:
@@ -107,9 +123,23 @@ class ExecutionUnit:
         results: list[MeasureResult | None],
         engine_stats: UniformizationStats | None = None,
         artifacts: Any | None = None,
+        linear_stats: LinearSolveStats | None = None,
+        solver: SolverEngine | None = None,
     ) -> None:
-        """Execute this unit, writing each member's result into ``results``."""
-        if self.interval:
+        """Execute this unit, writing each member's result into ``results``.
+
+        ``solver`` optionally shares one :class:`SolverEngine` across units
+        (so artifact-less plans still reuse e.g. the embedded matrix between
+        long-run groups of one chain); callers running units concurrently —
+        the scenario service — omit it and rely on the thread-safe artifact
+        cache instead.
+        """
+        if self.longrun:
+            group_index, group = self.groups[0]
+            _execute_longrun_group(
+                group, group_index, results, linear_stats, artifacts, solver
+            )
+        elif self.interval:
             _execute_interval_bundle(self.groups, results, engine_stats, artifacts)
         else:
             group_index, group = self.groups[0]
@@ -126,6 +156,9 @@ def execution_units(plan: ExecutionPlan) -> list[ExecutionUnit]:
     units: list[ExecutionUnit] = []
     interval_bundles: dict[tuple, ExecutionUnit] = {}
     for group_index, group in enumerate(plan.groups):
+        if group.longrun:
+            units.append(ExecutionUnit(groups=[(group_index, group)], longrun=True))
+            continue
         if not group.interval:
             units.append(ExecutionUnit(groups=[(group_index, group)]))
             continue
@@ -155,11 +188,13 @@ def execute_plan(
     plan: ExecutionPlan,
     engine_stats: UniformizationStats | None = None,
     artifacts: Any | None = None,
+    linear_stats: LinearSolveStats | None = None,
 ) -> list[MeasureResult]:
     """Run every group of ``plan`` and return results in request order."""
     results: list[MeasureResult | None] = [None] * plan.num_requests
+    solver = SolverEngine(artifacts=artifacts, stats=linear_stats)
     for unit in execution_units(plan):
-        unit.run(results, engine_stats, artifacts)
+        unit.run(results, engine_stats, artifacts, linear_stats, solver)
     return results  # type: ignore[return-value]
 
 
@@ -257,6 +292,82 @@ def _execute_group(
             values=values,
             group_index=group_index,
             lumped_states=lumped_states,
+            _squeeze=member.squeeze,
+        )
+
+
+# ----------------------------------------------------------------------
+# long-run groups: one cached-factorization solve, all RHS columns stacked
+# ----------------------------------------------------------------------
+def _execute_longrun_group(
+    group: ExecutionGroup,
+    group_index: int,
+    results: list[MeasureResult | None],
+    linear_stats: LinearSolveStats | None,
+    artifacts: Any | None = None,
+    solver: SolverEngine | None = None,
+) -> None:
+    """Execute a steady-state / unbounded-reachability / reachability-reward group.
+
+    The group's members agree on the restricted linear system (the planner
+    grouped them by subset signature), so the whole group costs at most one
+    factorization — fetched from the artifact cache when one is attached —
+    with every member's observable batched as a right-hand-side column and
+    every member's initial distributions reduced by plain dense algebra.
+    """
+    engine = (
+        solver
+        if solver is not None
+        else SolverEngine(artifacts=artifacts, stats=linear_stats)
+    )
+    chain = group.chain
+    kind = group.members[0].kind
+
+    if kind is MeasureKind.STEADY_STATE:
+        initial_pool = _ColumnPool()
+        member_rows = [
+            [initial_pool.add(row) for row in member.initials]
+            for member in group.members
+        ]
+        distributions = steady_state_distribution_block(
+            chain, initial_pool.stack(), engine=engine
+        )
+        member_values = [
+            distributions[rows]
+            @ (
+                member.target_mask.astype(float)
+                if member.target_mask is not None
+                else member.rewards
+            )
+            for member, rows in zip(group.members, member_rows)
+        ]
+    elif kind is MeasureKind.UNBOUNDED_REACHABILITY:
+        first = group.members[0]
+        per_state = unbounded_reachability(
+            chain, first.target_mask, first.safe_mask, engine=engine
+        )
+        member_values = [
+            np.clip(member.initials @ per_state, 0.0, 1.0)
+            for member in group.members
+        ]
+    else:  # REACHABILITY_REWARD
+        reward_pool = _ColumnPool()
+        member_columns = [reward_pool.add(member.rewards) for member in group.members]
+        values_matrix = reachability_reward_values(
+            chain, group.members[0].target_mask, reward_pool.stack().T, engine=engine
+        )
+        member_values = [
+            expected_values_under(member.initials, values_matrix[:, [column]])[:, 0]
+            for member, column in zip(group.members, member_columns)
+        ]
+
+    for member, values in zip(group.members, member_values):
+        results[member.index] = MeasureResult(
+            request=member.request,
+            times=member.times.copy(),
+            values=np.asarray(values, dtype=float).reshape(-1, 1),
+            group_index=group_index,
+            lumped_states=None,
             _squeeze=member.squeeze,
         )
 

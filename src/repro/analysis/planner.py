@@ -14,6 +14,12 @@ Requests that differ in any of these are never merged; requests that agree
 may still differ in initial distributions and reward vectors, which the
 executor stacks into the sweep's batch axes.
 
+Long-run requests (``STEADY_STATE``, ``UNBOUNDED_REACHABILITY``,
+``REACHABILITY_REWARD``) never sweep: they are grouped by (chain identity,
+state-subset signature) instead, so the executor can batch all their
+right-hand-side columns against one cached LU factorization
+(:mod:`repro.ctmc.linsolve`).
+
 The planner can additionally run ordinary lumpability
 (:mod:`repro.ctmc.lumping`) on each group's operating chain before the
 sweep (``lump=True``).  The lumping partition is seeded with exactly the
@@ -41,6 +47,7 @@ from repro.ctmc.ctmc import CTMC, CTMCError
 from repro.ctmc.lumping import lump_ctmc, lumping_partition
 from repro.ctmc.uniformization import DEFAULT_EPSILON
 from repro.analysis.requests import (
+    LONGRUN_KINDS,
     REACHABILITY_KINDS,
     REWARD_KINDS,
     MeasureKind,
@@ -95,6 +102,7 @@ class ExecutionGroup:
     epsilon: float
     members: list[PlannedRequest] = field(default_factory=list)
     interval: bool = False
+    longrun: bool = False
     lumped: LumpedChain | None = None
 
 
@@ -129,12 +137,23 @@ def normalise_request(request: MeasureRequest, index: int = 0) -> PlannedRequest
     times = np.asarray(request.times, dtype=float)
     if times.ndim != 1:
         raise CTMCError("time grid must be one-dimensional")
+    kind = request.kind
+    if kind in LONGRUN_KINDS:
+        if times.size:
+            raise CTMCError(
+                f"{kind.value} is a long-run measure and takes no time grid; "
+                "pass times=()"
+            )
+        if request.lower:
+            raise CTMCError(
+                f"lower bound only applies to interval reachability, not {kind.value}"
+            )
+        return _normalise_longrun(request, kind, index)
     if not np.all(np.isfinite(times)):
         raise CTMCError("time points must be finite")
     if np.any(times < 0):
         raise CTMCError("time points must be non-negative")
     initials, squeeze = request.initial_block()
-    kind = request.kind
     if kind is MeasureKind.INTERVAL_REACHABILITY:
         if request.lower < 0:
             raise CTMCError("interval lower bound must be non-negative")
@@ -167,6 +186,44 @@ def normalise_request(request: MeasureRequest, index: int = 0) -> PlannedRequest
     return planned
 
 
+def _normalise_longrun(
+    request: MeasureRequest, kind: MeasureKind, index: int
+) -> PlannedRequest:
+    """Validate a long-run request; its single "grid point" is t = ∞."""
+    initials, squeeze = request.initial_block()
+    planned = PlannedRequest(
+        index=index,
+        request=request,
+        kind=kind,
+        times=np.array([np.inf]),
+        initials=initials,
+        squeeze=squeeze,
+    )
+    if kind is MeasureKind.STEADY_STATE:
+        if (request.target is None) == (request.rewards is None):
+            raise CTMCError(
+                "a steady-state request observes exactly one of a target set "
+                "(S=?) or a reward vector (R=?[S])"
+            )
+        if request.safe is not None:
+            raise CTMCError("steady-state requests take no safe set")
+        if request.target is not None:
+            planned.target_mask = request.target_mask()
+        else:
+            planned.rewards = request.reward_vector()
+    elif kind is MeasureKind.UNBOUNDED_REACHABILITY:
+        if request.rewards is not None:
+            raise CTMCError("unbounded-reachability requests take no rewards")
+        planned.target_mask = request.target_mask()
+        planned.safe_mask = request.safe_mask()
+    else:  # REACHABILITY_REWARD
+        if request.safe is not None:
+            raise CTMCError("reachability-reward requests take no safe set")
+        planned.target_mask = request.target_mask()
+        planned.rewards = request.reward_vector()
+    return planned
+
+
 def build_plan(
     requests: Sequence[MeasureRequest],
     *,
@@ -194,6 +251,42 @@ def build_plan(
         planned = normalise_request(request, index)
         epsilon = request.epsilon if request.epsilon is not None else default_epsilon
         base = request.chain
+
+        if planned.kind in LONGRUN_KINDS:
+            # Long-run requests never sweep: they group by (chain, subset
+            # signature) so the executor can batch their RHS columns into
+            # one cached-factorization solve.  Steady-state requests all
+            # share the chain's one long-run distribution regardless of
+            # their observables; unbounded reachability and reachability
+            # rewards group per target(/safe) signature, which determines
+            # the restricted linear system.
+            if planned.kind is MeasureKind.STEADY_STATE:
+                longrun_token = b"steady-state"
+            elif planned.kind is MeasureKind.UNBOUNDED_REACHABILITY:
+                longrun_token = b"".join(
+                    (
+                        b"unbounded",
+                        planned.target_mask.tobytes(),
+                        planned.safe_mask.tobytes(),
+                    )
+                )
+            else:  # REACHABILITY_REWARD
+                longrun_token = b"reach-reward" + planned.target_mask.tobytes()
+            key = (id(base), longrun_token, planned.kind.value)
+            if not batched:
+                key = key + (index,)
+            group = groups.get(key)
+            if group is None:
+                group = ExecutionGroup(
+                    chain=base,
+                    rate=0.0,
+                    times=planned.times,
+                    epsilon=float(epsilon),
+                    longrun=True,
+                )
+                groups[key] = group
+            group.members.append(planned)
+            continue
 
         interval = planned.kind is MeasureKind.INTERVAL_REACHABILITY
         if planned.kind is MeasureKind.REACHABILITY:
@@ -305,7 +398,10 @@ def _lump_group(group: ExecutionGroup, artifacts: Any | None = None) -> LumpedCh
     signature)``; an unprofitable quotient is cached as ``None`` so repeat
     runs skip the refinement entirely.
     """
-    if group.interval:
+    if group.interval or group.longrun:
+        # Long-run groups solve linear systems through the cached solver
+        # engine instead of sweeping; their reuse story is the
+        # factorization cache, not a quotient.
         return None
     observables: list[np.ndarray] = []
     for member in group.members:

@@ -18,7 +18,17 @@ kind                          meaning
                               until; ``a`` is :attr:`MeasureRequest.lower`)
 ``INSTANTANEOUS_REWARD``      expected reward rate, ``R=?[ I=t ]``
 ``CUMULATIVE_REWARD``         expected accumulated reward, ``R=?[ C<=t ]``
+``STEADY_STATE``              long-run probability of the target set
+                              (``S=?``) or long-run reward rate (``R=?[S]``
+                              when ``rewards`` is given instead)
+``UNBOUNDED_REACHABILITY``    ``P[ safe U target ]`` (no time bound)
+``REACHABILITY_REWARD``       expected reward until the target, ``R=?[F phi]``
 ===========================  ==============================================
+
+The last three are the *long-run* kinds: they take no time grid
+(``times=()``) and are computed by the cached linear-solver engine
+(:mod:`repro.ctmc.linsolve`) instead of a uniformization sweep; their
+result values have a single column (the value "at t = ∞").
 """
 
 from __future__ import annotations
@@ -41,6 +51,9 @@ class MeasureKind(enum.Enum):
     INTERVAL_REACHABILITY = "interval_reachability"
     INSTANTANEOUS_REWARD = "instantaneous_reward"
     CUMULATIVE_REWARD = "cumulative_reward"
+    STEADY_STATE = "steady_state"
+    UNBOUNDED_REACHABILITY = "unbounded_reachability"
+    REACHABILITY_REWARD = "reachability_reward"
 
 
 #: Kinds that are defined by a target (and optional safe) state set.
@@ -51,6 +64,16 @@ REACHABILITY_KINDS = frozenset(
 #: Kinds that are defined by a state reward-rate vector.
 REWARD_KINDS = frozenset(
     {MeasureKind.INSTANTANEOUS_REWARD, MeasureKind.CUMULATIVE_REWARD}
+)
+
+#: Time-independent kinds computed by the cached linear-solver engine
+#: rather than a uniformization sweep; they take no time grid.
+LONGRUN_KINDS = frozenset(
+    {
+        MeasureKind.STEADY_STATE,
+        MeasureKind.UNBOUNDED_REACHABILITY,
+        MeasureKind.REACHABILITY_REWARD,
+    }
 )
 
 

@@ -33,6 +33,7 @@ from __future__ import annotations
 from collections.abc import Iterable
 from dataclasses import dataclass
 
+from repro.ctmc.linsolve import LinearSolveStats
 from repro.ctmc.uniformization import DEFAULT_EPSILON, UniformizationStats
 from repro.analysis.executor import execute_plan
 from repro.analysis.planner import ExecutionPlan, build_plan
@@ -47,7 +48,11 @@ class SessionStats:
     conventions (see
     :class:`repro.ctmc.uniformization.UniformizationStats`); the lumping
     counters record how many groups ran on a quotient chain and how much
-    state space that removed.
+    state space that removed.  ``factorizations``/``linear_solves``/
+    ``solved_columns`` mirror the long-run solver engine
+    (:class:`repro.ctmc.linsolve.LinearSolveStats`): LU factorizations
+    actually built (warm cache hits do not count), triangular solve calls
+    and the right-hand-side columns they carried.
     """
 
     requests: int = 0
@@ -56,6 +61,9 @@ class SessionStats:
     matvecs: int = 0
     applies: int = 0
     sparse_flops: int = 0
+    factorizations: int = 0
+    linear_solves: int = 0
+    solved_columns: int = 0
     lumped_groups: int = 0
     lumped_states_before: int = 0
     lumped_states_after: int = 0
@@ -66,6 +74,11 @@ class SessionStats:
         self.matvecs += engine.matvecs
         self.applies += engine.applies
         self.sparse_flops += engine.sparse_flops
+
+    def absorb_linear(self, linear: LinearSolveStats) -> None:
+        self.factorizations += linear.factorizations
+        self.linear_solves += linear.solves
+        self.solved_columns += linear.columns
 
     def absorb_plan(self, plan: ExecutionPlan) -> None:
         """Account for an executed plan's requests, groups and lumping.
@@ -92,6 +105,12 @@ class SessionStats:
             f"applies={self.applies}",
             f"sparse_flops={self.sparse_flops}",
         ]
+        if self.linear_solves or self.factorizations:
+            parts.append(
+                f"factorizations={self.factorizations}"
+                f" linear_solves={self.linear_solves}"
+                f" solved_columns={self.solved_columns}"
+            )
         if self.lumped_groups:
             parts.append(
                 f"lumped {self.lumped_groups} groups "
@@ -179,7 +198,11 @@ class AnalysisSession:
         """Plan and run all registered requests; results in registration order."""
         plan = self.plan()
         engine = UniformizationStats()
-        results = execute_plan(plan, engine_stats=engine, artifacts=self.artifacts)
+        linear = LinearSolveStats()
+        results = execute_plan(
+            plan, engine_stats=engine, artifacts=self.artifacts, linear_stats=linear
+        )
         self.stats.absorb_plan(plan)
         self.stats.absorb_engine(engine)
+        self.stats.absorb_linear(linear)
         return results

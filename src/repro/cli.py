@@ -9,6 +9,7 @@ Usage examples::
     python -m repro all --fast           # everything, on coarse grids
     python -m repro all --output results # also write CSV files per experiment
     python -m repro serve --clients 4 --repeat 2   # scenario service sweep
+    python -m repro serve --metrics      # plus a /metrics-style text dump
 
 Every experiment name matches the table/figure numbering of the paper; see
 DESIGN.md for the experiment index.
@@ -43,7 +44,9 @@ from repro.casestudy import experiments as exp
 #: family's result tuple.  Each family runs at most once per invocation.
 _FAMILIES = {
     "table1": lambda points, lump, batched, stats: (exp.table1_state_space(),),
-    "table2": lambda points, lump, batched, stats: (exp.table2_availability(),),
+    "table2": lambda points, lump, batched, stats: (
+        exp.table2_availability(stats=stats),
+    ),
     "fig3": lambda points, lump, batched, stats: (
         exp.figure3_reliability(points=points, lump=lump, batched=batched, stats=stats),
     ),
@@ -209,6 +212,14 @@ def build_serve_parser() -> argparse.ArgumentParser:
         default=1024,
         help="pending-request cap that cuts the window short (default: 1024)",
     )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help=(
+            "print a /metrics-style text dump (service counters, per-flush "
+            "latency histogram, per-kind cache hits/misses) after the sweep"
+        ),
+    )
     return parser
 
 
@@ -272,6 +283,10 @@ def serve_main(argv: list[str] | None = None) -> int:
                 )
             print(f"[{service.stats.summary()}]")
             print(f"[{service.cache_stats().summary()}]")
+            if args.metrics:
+                print()
+                print(service.stats.metrics())
+                print(service.cache_stats().metrics())
 
     asyncio.run(run())
     return 0

@@ -10,35 +10,43 @@ operator                    routine
                             under the initial distribution;
                             :func:`repro.ctmc.transient.time_bounded_reachability_per_state`
                             for per-state vectors
-``P=? [ phi U psi ]``       :func:`repro.ctmc.dtmc.unbounded_reachability`
+``P=? [ phi U psi ]``       a one-request session (kind
+                            ``UNBOUNDED_REACHABILITY``);
+                            :func:`repro.ctmc.dtmc.unbounded_reachability`
+                            for per-state vectors
 ``P=? [ X phi ]``           one-step probabilities of the embedded DTMC
-``S=? [ phi ]``             :func:`repro.ctmc.steady_state.steady_state_distribution`
+``S=? [ phi ]``             a one-request session (kind ``STEADY_STATE``);
+                            :func:`repro.ctmc.steady_state.steady_state_values_per_state`
+                            for per-state vectors
 ``R=? [ I=t ]``             :func:`repro.ctmc.rewards.instantaneous_reward`
 ``R=? [ C<=t ]``            :func:`repro.ctmc.rewards.cumulative_reward`
-``R=? [ S ]``               :func:`repro.ctmc.rewards.steady_state_reward`
-``R=? [ F phi ]``           expected reachability reward (linear system)
+``R=? [ S ]``               a one-request session (``STEADY_STATE`` with a
+                            reward observable)
+``R=? [ F phi ]``           a one-request session (kind
+                            ``REACHABILITY_REWARD``)
 =========================  ==================================================
 
 Quantitative queries return a scalar evaluated under the model's initial
 distribution (PRISM's convention for a single initial state), while
 :meth:`ModelChecker.check_states` exposes the per-state value vector.
+
+All long-run queries route through the cached linear-solver engine
+(:mod:`repro.ctmc.linsolve`): one checker instance shares BSCC
+decompositions, embedded matrices and LU factorizations across its queries,
+and a checker constructed with an ``artifacts`` cache
+(:class:`repro.service.ArtifactCache`) shares them process-wide.
 """
 
 from __future__ import annotations
 
 import numpy as np
-from scipy import sparse
-from scipy.sparse import linalg as sparse_linalg
 
 import repro.csl.formulas as F
 from repro.ctmc import CTMC, MarkovRewardModel
 from repro.ctmc.dtmc import embedded_dtmc, unbounded_reachability
-from repro.ctmc.rewards import (
-    cumulative_reward,
-    instantaneous_reward,
-    steady_state_reward,
-)
-from repro.ctmc.steady_state import steady_state_distribution
+from repro.ctmc.linsolve import SolverEngine
+from repro.ctmc.rewards import cumulative_reward, instantaneous_reward
+from repro.ctmc.steady_state import steady_state_values_per_state
 from repro.ctmc.transient import time_bounded_reachability_per_state
 from repro.csl.parser import parse_formula
 
@@ -50,7 +58,12 @@ class CSLCheckError(ValueError):
 class ModelChecker:
     """A CSL/CSRL model checker bound to a CTMC or Markov reward model."""
 
-    def __init__(self, model: CTMC | MarkovRewardModel, epsilon: float = 1e-10) -> None:
+    def __init__(
+        self,
+        model: CTMC | MarkovRewardModel,
+        epsilon: float = 1e-10,
+        artifacts=None,
+    ) -> None:
         if isinstance(model, MarkovRewardModel):
             self._chain = model.chain
             self._reward_model: MarkovRewardModel | None = model
@@ -58,6 +71,17 @@ class ModelChecker:
             self._chain = model
             self._reward_model = None
         self._epsilon = epsilon
+        # One artifact store per checker: long-run queries on this model —
+        # both the one-request sessions behind check() and the per-state
+        # vectors — share BSCC decompositions, embedded matrices and
+        # factorizations.  A caller-supplied cache makes the sharing
+        # process-wide; otherwise the checker owns a private one.
+        if artifacts is None:
+            from repro.service.cache import ArtifactCache
+
+            artifacts = ArtifactCache()
+        self._artifacts = artifacts
+        self._engine = SolverEngine(artifacts=artifacts)
 
     # ------------------------------------------------------------------
     # public API
@@ -79,11 +103,18 @@ class ModelChecker:
                 # one-request analysis session instead of solving for every
                 # start state backwards.
                 return self._bounded_until_from_initial(formula.path)
+            if isinstance(formula.path, F.Until):
+                return self._session_scalar(
+                    kind_name="UNBOUNDED_REACHABILITY",
+                    target=self._state_mask(formula.path.right),
+                    safe=self._state_mask(formula.path.left),
+                )
             return float(initial @ self._path_probabilities(formula.path))
         if isinstance(formula, F.SteadyStateQuery):
-            mask = self._state_mask(formula.state_formula)
-            distribution = steady_state_distribution(self._chain)
-            return float(distribution[mask].sum())
+            return self._session_scalar(
+                kind_name="STEADY_STATE",
+                target=self._state_mask(formula.state_formula),
+            )
         if isinstance(formula, F.RewardQuery):
             return self._reward_query(formula)
         mask = self._state_mask(formula)
@@ -98,15 +129,13 @@ class ModelChecker:
         if isinstance(formula, F.SteadyStateQuery):
             # The steady-state value is the same for every state of an
             # irreducible chain; in general it depends on the start state
-            # via BSCC reachability, so compute per point-mass start.
+            # via BSCC reachability.  One BSCC decomposition, one stationary
+            # solve per BSCC and one multi-column absorption solve cover
+            # every point-mass start at once.
             mask = self._state_mask(formula.state_formula)
-            values = np.zeros(self._chain.num_states)
-            for state in range(self._chain.num_states):
-                point = np.zeros(self._chain.num_states)
-                point[state] = 1.0
-                distribution = steady_state_distribution(self._chain, point)
-                values[state] = float(distribution[mask].sum())
-            return values
+            return steady_state_values_per_state(
+                self._chain, mask.astype(float), engine=self._engine
+            )
         if isinstance(formula, F.RewardQuery):
             raise CSLCheckError("per-state reward queries are not supported; use check()")
         return self._state_mask(formula)
@@ -151,7 +180,7 @@ class ModelChecker:
         if isinstance(path, F.Until):
             left = self._state_mask(path.left)
             right = self._state_mask(path.right)
-            return unbounded_reachability(self._chain, right, left)
+            return unbounded_reachability(self._chain, right, left, engine=self._engine)
         if isinstance(path, F._Globally):
             negated = F.Not(path.operand)
             if path.upper is None:
@@ -238,33 +267,36 @@ class ModelChecker:
         if isinstance(objective, F.CumulativeReward):
             return cumulative_reward(self._reward_model, objective.time, name, epsilon=self._epsilon)
         if isinstance(objective, F.SteadyStateReward):
-            return steady_state_reward(self._reward_model, name)
+            return self._session_scalar(
+                kind_name="STEADY_STATE",
+                rewards=self._reward_model.reward_structure(name).state_rewards,
+            )
         if isinstance(objective, F.ReachabilityReward):
-            return self._reachability_reward(objective, name)
+            return self._session_scalar(
+                kind_name="REACHABILITY_REWARD",
+                target=self._state_mask(objective.target),
+                rewards=self._reward_model.reward_structure(name).state_rewards,
+            )
         raise CSLCheckError(f"unsupported reward objective {objective!r}")
 
-    def _reachability_reward(self, objective: F.ReachabilityReward, name: str | None) -> float:
-        """Expected accumulated reward until first reaching the target set."""
-        assert self._reward_model is not None
-        rewards = self._reward_model.reward_structure(name).state_rewards
-        target = self._state_mask(objective.target)
-        chain = self._chain
+    # ------------------------------------------------------------------
+    # long-run session glue
+    # ------------------------------------------------------------------
+    def _session_scalar(self, kind_name: str, **fields) -> float:
+        """Evaluate one long-run measure under the initial distribution.
 
-        # States that cannot reach the target have infinite expected reward.
-        reach = unbounded_reachability(chain, target)
-        if np.any((chain.initial_distribution > 0) & (reach < 1.0 - 1e-9)):
-            return float("inf")
+        A thin one-request :class:`repro.analysis.AnalysisSession` over the
+        named long-run kind; the checker's artifact cache (when given) makes
+        the underlying factorizations and BSCC decompositions shared
+        process-wide.
+        """
+        from repro.analysis import AnalysisSession, MeasureKind
 
-        non_target = np.flatnonzero(~target)
-        if non_target.size == 0:
-            return 0.0
-        generator = chain.generator_matrix()
-        sub = generator[np.ix_(non_target, non_target)].tocsc()
-        rhs = -rewards[non_target]
-        values = np.zeros(chain.num_states)
-        solution = sparse_linalg.spsolve(sub, rhs)
-        values[non_target] = np.asarray(solution, dtype=float)
-        return float(chain.initial_distribution @ values)
+        session = AnalysisSession(artifacts=self._artifacts)
+        index = session.request(
+            self._chain, (), kind=MeasureKind[kind_name], **fields
+        )
+        return float(session.execute()[index].squeezed[0])
 
 
 def _compare(values: np.ndarray, comparator: str, bound: float) -> np.ndarray:
@@ -283,6 +315,7 @@ def check(
     model: CTMC | MarkovRewardModel,
     formula: "F.Query | F.Formula | str",
     epsilon: float = 1e-10,
+    artifacts=None,
 ) -> float | bool:
     """Convenience wrapper: build a :class:`ModelChecker` and evaluate ``formula``."""
-    return ModelChecker(model, epsilon).check(formula)
+    return ModelChecker(model, epsilon, artifacts).check(formula)

@@ -14,6 +14,10 @@ engine plays in the paper:
   (Fox–Glynn Poisson weights) and time-bounded reachability.
 * :mod:`~repro.ctmc.steady_state` — steady-state/long-run analysis with BSCC
   decomposition, direct sparse solves and iterative fallbacks.
+* :mod:`~repro.ctmc.linsolve` — the cached sparse linear-solver engine: one
+  LU factorization per (chain fingerprint, state-subset signature), solved
+  against arbitrarily many stacked right-hand-side columns; the warm path
+  of every long-run measure.
 * :mod:`~repro.ctmc.rewards` — instantaneous, cumulative and long-run reward
   measures (the backend of ``R=?[I=t]``, ``R=?[C<=t]`` and ``R=?[S]``).
 * :mod:`~repro.ctmc.lumping` — ordinary lumpability (strong bisimulation)
@@ -35,10 +39,19 @@ from repro.ctmc.transient import (
     transient_distribution,
     transient_distributions,
 )
+from repro.ctmc.linsolve import (
+    Factorization,
+    LinearSolveStats,
+    SolverEngine,
+    subset_signature,
+)
 from repro.ctmc.steady_state import (
     bottom_strongly_connected_components,
+    bscc_decomposition,
     steady_state_distribution,
+    steady_state_distribution_block,
     steady_state_probability,
+    steady_state_values_per_state,
 )
 from repro.ctmc.rewards import (
     cumulative_reward,
@@ -52,12 +65,16 @@ __all__ = [
     "CTMC",
     "DTMC",
     "ENGINE_STATS",
+    "Factorization",
     "FoxGlynnWeights",
     "GridResult",
+    "LinearSolveStats",
     "MarkovRewardModel",
     "RewardStructure",
+    "SolverEngine",
     "UniformizationStats",
     "bottom_strongly_connected_components",
+    "bscc_decomposition",
     "cumulative_reward",
     "embedded_dtmc",
     "evaluate_grid",
@@ -66,8 +83,11 @@ __all__ = [
     "lump_ctmc",
     "lumping_partition",
     "steady_state_distribution",
+    "steady_state_distribution_block",
     "steady_state_probability",
     "steady_state_reward",
+    "steady_state_values_per_state",
+    "subset_signature",
     "time_bounded_reachability",
     "transient_distribution",
     "transient_distributions",

@@ -7,6 +7,16 @@ The CTMC algorithms occasionally need discrete-time machinery:
 * the *uniformized* DTMC is the P matrix of uniformization.
 
 A tiny :class:`DTMC` class keeps these self-contained and testable.
+
+Unbounded reachability runs the standard qualitative precomputation first:
+:func:`qualitative_reachability` classifies every state as probability-0,
+probability-1 or genuinely uncertain ("maybe") with two graph traversals,
+so the linear system ``(I - P|_maybe) x = b`` covers only the maybe states
+— a smaller factorization with better conditioning than solving over all
+undecided-by-prob0 states.  :func:`unbounded_reachability` additionally
+accepts a :class:`repro.ctmc.linsolve.SolverEngine`, which caches the
+embedded matrix and the LU factorization per (chain fingerprint, maybe-set
+signature) so repeated ``P=?[phi U psi]`` queries on one chain share them.
 """
 
 from __future__ import annotations
@@ -18,6 +28,7 @@ from scipy import sparse
 from scipy.sparse import linalg as sparse_linalg
 
 from repro.ctmc.ctmc import CTMC, CTMCError
+from repro.ctmc.linsolve import SolverEngine, subset_signature
 
 
 class DTMC:
@@ -81,30 +92,7 @@ class DTMC:
             safe_mask = np.ones(self._num_states, dtype=bool)
         else:
             safe_mask = _mask(self._num_states, safe)
-
-        result = np.zeros(self._num_states)
-        result[target_mask] = 1.0
-
-        # Precomputation ("prob0"): only states that can reach the target via
-        # safe states have a positive probability.  Solving the linear system
-        # on the remaining states alone also keeps it non-singular when some
-        # safe states are absorbing.
-        reachable = _backward_reachable(self._matrix, target_mask, safe_mask)
-        maybe = safe_mask & ~target_mask & reachable
-        maybe_states = np.flatnonzero(maybe)
-        if maybe_states.size == 0:
-            return result
-
-        # Restrict to maybe states; right-hand side is the one-step
-        # probability of jumping straight into the target.
-        submatrix = self._matrix[np.ix_(maybe_states, maybe_states)].tocsc()
-        to_target = np.asarray(
-            self._matrix[np.ix_(maybe_states, np.flatnonzero(target_mask))].sum(axis=1)
-        ).ravel()
-        identity = sparse.identity(len(maybe_states), format="csc")
-        solution = sparse_linalg.spsolve((identity - submatrix).tocsc(), to_target)
-        result[maybe_states] = np.clip(np.asarray(solution, dtype=float), 0.0, 1.0)
-        return result
+        return reachability_from_matrix(self._matrix, target_mask, safe_mask)
 
 
 def _backward_reachable(
@@ -123,6 +111,83 @@ def _backward_reachable(
                 reachable[predecessor] = True
                 frontier.append(predecessor)
     return reachable
+
+
+def qualitative_reachability(
+    matrix: sparse.csr_matrix, target_mask: np.ndarray, safe_mask: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Classify states for ``P[ safe U target ]`` by graph analysis alone.
+
+    Returns ``(certain, maybe)`` boolean masks: ``certain`` holds the states
+    that reach the target (via safe states) with probability **one** and
+    ``maybe`` the genuinely uncertain states with probability strictly
+    between 0 and 1; everything else has probability zero.  Two backward
+    traversals implement the textbook prob0/prob1 precomputation:
+
+    * prob0 — states from which the target is graph-unreachable through
+      safe states;
+    * prob1 — states that cannot reach a prob0 state while traversing only
+      safe non-target states (in a finite chain such a path must then hit
+      the target almost surely; any BSCC avoiding the target lies entirely
+      inside prob0, so it cannot hide from the second traversal).
+
+    Substochastic rows (row sum < 1) leak probability mass, so a non-target
+    state with a deficit row can never be classified probability-1; such
+    states seed the second traversal alongside prob0.
+    """
+    reachable = _backward_reachable(matrix, target_mask, safe_mask)
+    prob0 = ~reachable
+    row_sums = np.asarray(matrix.sum(axis=1)).ravel()
+    leaky = (row_sums < 1.0 - 1e-12) & ~target_mask
+    at_risk = _backward_reachable(matrix, prob0 | leaky, safe_mask & ~target_mask)
+    certain = ~at_risk & ~prob0
+    maybe = ~prob0 & ~certain
+    return certain, maybe
+
+
+def reachability_from_matrix(
+    matrix: sparse.csr_matrix,
+    target_mask: np.ndarray,
+    safe_mask: np.ndarray,
+    engine: SolverEngine | None = None,
+    chain: CTMC | None = None,
+) -> np.ndarray:
+    """Per-state ``P[ safe U target ]`` on a stochastic ``matrix``.
+
+    The shared core of :meth:`DTMC.reachability_probabilities` and
+    :func:`unbounded_reachability`: after the qualitative 0/1 precomputation
+    only the maybe states enter the linear system, whose right-hand side is
+    the one-step probability of jumping into a certain (probability-1)
+    state.  With an ``engine`` and owning ``chain`` given, the system's LU
+    factorization is cached per (chain fingerprint, maybe-set signature).
+    """
+    num_states = matrix.shape[0]
+    certain, maybe = qualitative_reachability(matrix, target_mask, safe_mask)
+    result = np.zeros(num_states)
+    result[certain] = 1.0
+    maybe_states = np.flatnonzero(maybe)
+    if maybe_states.size == 0:
+        return result
+
+    certain_states = np.flatnonzero(certain)
+    to_certain = np.asarray(
+        matrix[np.ix_(maybe_states, certain_states)].sum(axis=1)
+    ).ravel()
+
+    def build_system() -> sparse.csc_matrix:
+        submatrix = matrix[np.ix_(maybe_states, maybe_states)].tocsc()
+        identity = sparse.identity(len(maybe_states), format="csc")
+        return (identity - submatrix).tocsc()
+
+    if engine is not None and chain is not None:
+        factorization = engine.factorization(
+            chain, b"unbounded|" + subset_signature(maybe), build_system
+        )
+        solution = engine.solve(factorization, to_certain)
+    else:
+        solution = sparse_linalg.spsolve(build_system(), to_certain)
+    result[maybe_states] = np.clip(np.asarray(solution, dtype=float), 0.0, 1.0)
+    return result
 
 
 def _mask(size: int, states: Iterable[int] | np.ndarray) -> np.ndarray:
@@ -167,15 +232,33 @@ def unbounded_reachability(
     chain: CTMC,
     target: Iterable[int] | np.ndarray | str,
     safe: Iterable[int] | np.ndarray | str | None = None,
+    engine: SolverEngine | None = None,
 ) -> np.ndarray:
     """Per-state probability of *eventually* reaching ``target`` (CSL ``P=?[F target]``).
 
     Time-unbounded reachability in a CTMC coincides with reachability in its
-    embedded DTMC, so this simply delegates to the jump chain.
+    embedded DTMC.  With an ``engine`` given, both the embedded transition
+    matrix (per chain fingerprint) and the LU factorization over the maybe
+    states (per target/safe-induced subset signature) are cached, so
+    repeated queries — and stacked queries sharing a maybe set — reuse one
+    factorization.
     """
     from repro.ctmc.transient import _as_state_mask
 
     target_mask = _as_state_mask(chain, target)
-    safe_mask = None if safe is None else _as_state_mask(chain, safe)
-    jump_chain = embedded_dtmc(chain)
-    return jump_chain.reachability_probabilities(target_mask, safe_mask)
+    safe_mask = (
+        np.ones(chain.num_states, dtype=bool)
+        if safe is None
+        else _as_state_mask(chain, safe)
+    )
+    if engine is None:
+        matrix = embedded_dtmc(chain).transition_matrix
+    else:
+        matrix = engine.cached(
+            "embedded",
+            (chain.fingerprint,),
+            lambda: embedded_dtmc(chain).transition_matrix,
+        )
+    return reachability_from_matrix(
+        matrix, target_mask, safe_mask, engine=engine, chain=chain
+    )

@@ -33,7 +33,6 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ctmc.ctmc import CTMC, CTMCError, MarkovRewardModel
-from repro.ctmc.steady_state import steady_state_distribution
 from repro.ctmc.transient import DEFAULT_EPSILON
 
 
@@ -141,8 +140,25 @@ def steady_state_reward(
     model: MarkovRewardModel | tuple[CTMC, np.ndarray],
     reward_name: str | None = None,
     initial_distribution: np.ndarray | None = None,
+    *,
+    artifacts=None,
 ) -> float:
-    """Long-run expected reward rate (CSRL ``R=?[S]``)."""
+    """Long-run expected reward rate (CSRL ``R=?[S]``).
+
+    A thin one-request :class:`repro.analysis.AnalysisSession` wrapper over
+    the ``STEADY_STATE`` kind with a reward observable; ``artifacts`` (a
+    :class:`repro.service.ArtifactCache`) lets repeated calls share the
+    chain's BSCC decomposition and stationary solves.
+    """
+    from repro.analysis import AnalysisSession, MeasureKind
+
     chain, rewards = _resolve(model, reward_name)
-    distribution = steady_state_distribution(chain, initial_distribution)
-    return float(distribution @ rewards)
+    session = AnalysisSession(artifacts=artifacts)
+    index = session.request(
+        chain,
+        (),
+        kind=MeasureKind.STEADY_STATE,
+        rewards=rewards,
+        initial_distributions=initial_distribution,
+    )
+    return float(session.execute()[index].squeezed[0])

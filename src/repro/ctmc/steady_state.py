@@ -18,6 +18,23 @@ For the irreducible chains produced by repairable Arcade models, step 3 is
 trivial (there is a single BSCC covering every state), but the general code
 path is retained so that e.g. reliability models without repair — which have
 absorbing failure states — are handled correctly too.
+
+Every function threads an optional :class:`repro.ctmc.linsolve.SolverEngine`:
+the BSCC decomposition (kind ``bscc``, keyed by the chain's content
+fingerprint), each BSCC's stationary vector (kind ``stationary``, keyed by
+fingerprint plus subset signature), the absorption-system LU (kind
+``factorization``) and the solved absorption matrix (kind ``absorption``,
+built on the jump-chain matrix shared with unbounded reachability under
+kind ``embedded``) are then fetched from — or stored into — the engine's
+backing store.  Pointed at the process-wide artifact cache, repeated
+availability tables perform zero decompositions and zero factorizations
+after the first pass; without an engine every call stays a self-contained
+per-call reference computation, exactly as before.
+
+:func:`steady_state_distribution_block` is the batch entry point the
+analysis executor uses: a ``(num_initials, num_states)`` block of initial
+distributions shares one decomposition, one stationary solve per BSCC and
+one multi-column absorption solve.
 """
 
 from __future__ import annotations
@@ -26,11 +43,11 @@ from collections.abc import Iterable
 
 import numpy as np
 from scipy import sparse
-from scipy.sparse import linalg as sparse_linalg
 
 import networkx as nx
 
 from repro.ctmc.ctmc import CTMC, CTMCError
+from repro.ctmc.linsolve import SolverEngine, subset_signature
 
 
 def bottom_strongly_connected_components(chain: CTMC) -> list[np.ndarray]:
@@ -60,6 +77,17 @@ def bottom_strongly_connected_components(chain: CTMC) -> list[np.ndarray]:
     return bsccs
 
 
+def bscc_decomposition(chain: CTMC, engine: SolverEngine | None = None) -> list[np.ndarray]:
+    """The BSCCs of ``chain``, cached per content fingerprint when possible."""
+    if engine is None:
+        return bottom_strongly_connected_components(chain)
+    return engine.cached(
+        "bscc",
+        (chain.fingerprint,),
+        lambda: bottom_strongly_connected_components(chain),
+    )
+
+
 #: Above this size the "auto" method switches from the direct sparse solve
 #: to power iteration on the uniformized DTMC (direct LU factorisations of
 #: the balance equations suffer from severe fill-in for the repair-queue
@@ -69,22 +97,44 @@ _AUTO_DIRECT_LIMIT = 4000
 
 
 def _bscc_stationary_distribution(
-    chain: CTMC, states: np.ndarray, method: str = "auto"
+    chain: CTMC,
+    states: np.ndarray,
+    method: str = "auto",
+    engine: SolverEngine | None = None,
 ) -> np.ndarray:
     """Stationary distribution of the sub-chain induced by a BSCC.
 
-    Solves ``π Q = 0`` with ``Σ π = 1`` restricted to ``states``.
+    Solves ``π Q = 0`` with ``Σ π = 1`` restricted to ``states``.  The
+    resulting vector is a pure function of (chain, subset, method), so it is
+    cached under that key; warm lookups skip both the factorization and the
+    solve.
     """
     size = len(states)
     if size == 1:
         return np.array([1.0])
+    if method == "auto":
+        method = "direct" if size <= _AUTO_DIRECT_LIMIT else "power"
+    if method not in ("direct", "power"):
+        raise CTMCError(f"unknown steady-state method {method!r}")
 
+    engine = engine if engine is not None else SolverEngine()
+    member_mask = np.zeros(chain.num_states, dtype=bool)
+    member_mask[states] = True
+    token = b"|".join((b"stationary", method.encode(), subset_signature(member_mask)))
+    return engine.cached(
+        "stationary",
+        (chain.fingerprint, token),
+        lambda: _solve_stationary(chain, states, method, engine),
+    )
+
+
+def _solve_stationary(
+    chain: CTMC, states: np.ndarray, method: str, engine: SolverEngine
+) -> np.ndarray:
+    size = len(states)
     sub_rates = chain.rate_matrix[np.ix_(states, states)].tocsr()
     exit_rates = np.asarray(sub_rates.sum(axis=1)).ravel()
     generator = sub_rates - sparse.diags(exit_rates)
-
-    if method == "auto":
-        method = "direct" if size <= _AUTO_DIRECT_LIMIT else "power"
 
     if method == "direct":
         # Replace one balance equation with the normalisation constraint.
@@ -93,14 +143,13 @@ def _bscc_stationary_distribution(
         rhs = np.zeros(size)
         rhs[size - 1] = 1.0
         try:
-            solution = sparse_linalg.spsolve(system.tocsr(), rhs)
+            factorization = engine.build_factorization(system.tocsc())
+            solution = engine.solve(factorization, rhs)
         except Exception as error:  # pragma: no cover - fallback path
             raise CTMCError(f"direct steady-state solve failed: {error}") from error
         solution = np.asarray(solution, dtype=float)
-    elif method == "power":
-        solution = _power_iteration(generator, size)
     else:
-        raise CTMCError(f"unknown steady-state method {method!r}")
+        solution = _power_iteration(generator, size)
 
     solution = np.clip(solution, 0.0, None)
     total = solution.sum()
@@ -139,62 +188,137 @@ def _power_iteration(
     return np.asarray(vector).ravel()
 
 
-def _bscc_reachability_probabilities(
-    chain: CTMC, bsccs: list[np.ndarray], initial: np.ndarray
+def _transient_states(chain: CTMC, bsccs: list[np.ndarray]) -> np.ndarray:
+    member = np.zeros(chain.num_states, dtype=bool)
+    for states in bsccs:
+        member[states] = True
+    return np.flatnonzero(~member)
+
+
+def _absorption_matrix(
+    chain: CTMC,
+    bsccs: list[np.ndarray],
+    transient_states: np.ndarray,
+    engine: SolverEngine,
 ) -> np.ndarray:
-    """Probability of eventually being absorbed into each BSCC.
+    """``(num_transient, num_bsccs)`` absorption probabilities, cached per chain.
 
-    Uses the embedded DTMC and solves the standard linear system for
-    absorption probabilities from transient states.
+    One LU factorization of the embedded DTMC restricted to the transient
+    states serves *all* BSCCs: their one-step entry probabilities are
+    stacked as right-hand-side columns of a single multi-column solve.  Both
+    the BSCC set and the transient set are pure functions of the chain, so
+    the solved matrix itself is cached (kind ``absorption``) — warm repeats
+    skip the factorization *and* the solve.
     """
-    num_states = chain.num_states
-    bscc_of_state = np.full(num_states, -1, dtype=int)
+
+    def build() -> np.ndarray:
+        # The jump-chain matrix is shared with unbounded reachability (kind
+        # "embedded"); its absorbing-state self-loops do not disturb the
+        # transient rows sliced here.
+        from repro.ctmc.dtmc import embedded_dtmc
+
+        embedded = engine.cached(
+            "embedded",
+            (chain.fingerprint,),
+            lambda: embedded_dtmc(chain).transition_matrix,
+        )
+        transient_mask = np.zeros(chain.num_states, dtype=bool)
+        transient_mask[transient_states] = True
+
+        def build_system() -> sparse.csc_matrix:
+            embedded_tt = embedded[np.ix_(transient_states, transient_states)]
+            identity = sparse.identity(len(transient_states), format="csc")
+            return (identity - embedded_tt.tocsc()).tocsc()
+
+        factorization = engine.factorization(
+            chain,
+            b"bscc-absorption|" + subset_signature(transient_mask),
+            build_system,
+        )
+        one_step = np.column_stack(
+            [
+                np.asarray(
+                    embedded[np.ix_(transient_states, states)].sum(axis=1)
+                ).ravel()
+                for states in bsccs
+            ]
+        )
+        absorption = np.asarray(engine.solve(factorization, one_step), dtype=float)
+        return absorption.reshape(len(transient_states), len(bsccs))
+
+    return engine.cached("absorption", (chain.fingerprint,), build)
+
+
+def _bscc_absorption_weights(
+    chain: CTMC,
+    bsccs: list[np.ndarray],
+    initial_block: np.ndarray,
+    engine: SolverEngine,
+) -> np.ndarray:
+    """Probability of eventual absorption into each BSCC, per initial row.
+
+    Returns a ``(num_initials, num_bsccs)`` matrix: the mass each row
+    already places inside every BSCC plus the transient mass weighted by
+    the cached absorption matrix.
+    """
+    weights = np.zeros((initial_block.shape[0], len(bsccs)))
     for index, states in enumerate(bsccs):
-        bscc_of_state[states] = index
+        weights[:, index] += initial_block[:, states].sum(axis=1)
 
-    transient_states = np.flatnonzero(bscc_of_state < 0)
-    probabilities = np.zeros(len(bsccs))
-
-    # Mass starting inside a BSCC stays there.
-    for index, states in enumerate(bsccs):
-        probabilities[index] += float(initial[states].sum())
-
-    if transient_states.size == 0:
-        return probabilities
-
-    # Embedded DTMC restricted to transient states.
-    exit_rates = chain.exit_rates
-    rates = chain.rate_matrix
-    with np.errstate(divide="ignore", invalid="ignore"):
-        inverse_exit = np.where(exit_rates > 0, 1.0 / exit_rates, 0.0)
-    embedded = sparse.diags(inverse_exit) @ rates
-
-    transient_index = {state: position for position, state in enumerate(transient_states)}
-    embedded_tt = embedded[np.ix_(transient_states, transient_states)].tocsr()
-
-    # For each BSCC, the one-step probability of jumping from a transient
-    # state directly into it.
-    identity = sparse.identity(len(transient_states), format="csc")
-    system = (identity - embedded_tt.tocsc()).tocsc()
-    lu = sparse_linalg.splu(system)
-
-    initial_transient = initial[transient_states]
-    for index, states in enumerate(bsccs):
-        one_step = np.asarray(embedded[np.ix_(transient_states, states)].sum(axis=1)).ravel()
-        absorption = lu.solve(one_step)
-        probabilities[index] += float(initial_transient @ absorption)
+    transient_states = _transient_states(chain, bsccs)
+    if transient_states.size:
+        absorption = _absorption_matrix(chain, bsccs, transient_states, engine)
+        weights += initial_block[:, transient_states] @ absorption
 
     # Guard against numerical drift.
-    total = probabilities.sum()
-    if total > 0:
-        probabilities = probabilities / total
-    return probabilities
+    totals = weights.sum(axis=1, keepdims=True)
+    positive = totals[:, 0] > 0
+    weights[positive] = weights[positive] / totals[positive]
+    return weights
+
+
+def steady_state_distribution_block(
+    chain: CTMC,
+    initial_block: np.ndarray,
+    method: str = "auto",
+    engine: SolverEngine | None = None,
+) -> np.ndarray:
+    """Long-run distributions for a block of initial distributions.
+
+    ``initial_block`` has shape ``(num_initials, num_states)``; the result
+    matches it.  All rows share one BSCC decomposition, one stationary
+    solve per reached BSCC and one multi-column absorption solve — the
+    batch entry point of the analysis executor's steady-state groups.
+    """
+    engine = engine if engine is not None else SolverEngine()
+    initial_block = np.asarray(initial_block, dtype=float)
+    if initial_block.ndim != 2 or initial_block.shape[1] != chain.num_states:
+        raise CTMCError("initial block must have shape (num_initials, num_states)")
+
+    bsccs = bscc_decomposition(chain, engine)
+    if not bsccs:
+        raise CTMCError("chain has no bottom strongly connected component")
+
+    if len(bsccs) == 1 and len(bsccs[0]) == chain.num_states:
+        local = _bscc_stationary_distribution(chain, bsccs[0], method, engine)
+        return np.broadcast_to(local, initial_block.shape).copy()
+
+    weights = _bscc_absorption_weights(chain, bsccs, initial_block, engine)
+    distributions = np.zeros_like(initial_block)
+    for index, states in enumerate(bsccs):
+        column = weights[:, index]
+        if not np.any(column > 0.0):
+            continue
+        local = _bscc_stationary_distribution(chain, states, method, engine)
+        distributions[:, states] += column[:, None] * local[None, :]
+    return distributions
 
 
 def steady_state_distribution(
     chain: CTMC,
     initial_distribution: np.ndarray | None = None,
     method: str = "auto",
+    engine: SolverEngine | None = None,
 ) -> np.ndarray:
     """Return the long-run (steady-state) distribution of ``chain``.
 
@@ -208,22 +332,54 @@ def steady_state_distribution(
         initial = np.asarray(initial_distribution, dtype=float)
         if initial.shape != (chain.num_states,):
             raise CTMCError("initial distribution has the wrong length")
+    return steady_state_distribution_block(chain, initial[None, :], method, engine)[0]
 
-    bsccs = bottom_strongly_connected_components(chain)
+
+def steady_state_values_per_state(
+    chain: CTMC,
+    observable: np.ndarray,
+    method: str = "auto",
+    engine: SolverEngine | None = None,
+) -> np.ndarray:
+    """Long-run expectation of ``observable`` per point-mass start state.
+
+    ``values[s]`` is ``Σ_i π_s(i) · observable(i)`` where ``π_s`` is the
+    long-run distribution started in ``s`` — the per-state vector of CSL
+    ``S=?`` (indicator observable) and CSRL ``R=?[S]`` (reward-rate
+    observable).  Instead of one full steady-state computation per start
+    state, every BSCC contributes a single scalar and the transient states
+    mix those scalars through one multi-column absorption solve.
+    """
+    engine = engine if engine is not None else SolverEngine()
+    observable = np.asarray(observable, dtype=float)
+    if observable.shape != (chain.num_states,):
+        raise CTMCError("observable vector has the wrong length")
+
+    bsccs = bscc_decomposition(chain, engine)
     if not bsccs:
         raise CTMCError("chain has no bottom strongly connected component")
 
-    if len(bsccs) == 1 and len(bsccs[0]) == chain.num_states:
-        return _bscc_stationary_distribution(chain, bsccs[0], method)
+    bscc_values = np.array(
+        [
+            float(
+                _bscc_stationary_distribution(chain, states, method, engine)
+                @ observable[states]
+            )
+            for states in bsccs
+        ]
+    )
+    values = np.zeros(chain.num_states)
+    for states, value in zip(bsccs, bscc_values):
+        values[states] = value
 
-    reach = _bscc_reachability_probabilities(chain, bsccs, initial)
-    distribution = np.zeros(chain.num_states)
-    for probability, states in zip(reach, bsccs):
-        if probability <= 0.0:
-            continue
-        local = _bscc_stationary_distribution(chain, states, method)
-        distribution[states] += probability * local
-    return distribution
+    transient_states = _transient_states(chain, bsccs)
+    if transient_states.size:
+        # A point mass on a transient state mixes the per-BSCC scalars with
+        # exactly its row of the absorption matrix — no (num_transient,
+        # num_states) block needs materializing.
+        absorption = _absorption_matrix(chain, bsccs, transient_states, engine)
+        values[transient_states] = absorption @ bscc_values
+    return values
 
 
 def steady_state_probability(
@@ -231,10 +387,11 @@ def steady_state_probability(
     states: Iterable[int] | np.ndarray | str,
     initial_distribution: np.ndarray | None = None,
     method: str = "auto",
+    engine: SolverEngine | None = None,
 ) -> float:
     """Long-run probability of residing in ``states`` (CSL ``S=?[states]``)."""
     from repro.ctmc.transient import _as_state_mask  # shared helper
 
     mask = _as_state_mask(chain, states)
-    distribution = steady_state_distribution(chain, initial_distribution, method)
+    distribution = steady_state_distribution(chain, initial_distribution, method, engine)
     return float(distribution[mask].sum())

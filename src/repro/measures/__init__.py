@@ -27,15 +27,21 @@ traversals, build the requests with the ``*_request`` builders —
 :func:`~repro.measures.survivability.survivability_request`,
 :func:`~repro.measures.reliability.unreliability_request`,
 :func:`~repro.measures.costs.instantaneous_cost_request`,
-:func:`~repro.measures.costs.accumulated_cost_request` — and submit them to
-one session (see :mod:`repro.analysis`).
+:func:`~repro.measures.costs.accumulated_cost_request`,
+:func:`~repro.measures.availability.steady_state_availability_request` —
+and submit them to one session (see :mod:`repro.analysis`).  The
+availability builder is the long-run member of the family: its requests
+ride the cached linear-solver engine instead of a uniformization sweep, so
+whole availability tables share BSCC decompositions and factorizations.
 """
 
 from repro.measures.availability import (
     combined_availability,
     steady_state_availability,
+    steady_state_availability_request,
     steady_state_unavailability,
 )
+from repro.measures.service import service_distribution
 from repro.measures.reliability import (
     reliability,
     reliability_curve,
@@ -68,10 +74,12 @@ __all__ = [
     "instantaneous_cost_request",
     "reliability",
     "reliability_curve",
+    "service_distribution",
     "service_intervals",
     "service_levels",
     "states_with_service_at_least",
     "steady_state_availability",
+    "steady_state_availability_request",
     "steady_state_unavailability",
     "survivability",
     "survivability_curve",

@@ -18,9 +18,9 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+from repro.analysis import AnalysisSession, MeasureKind, MeasureRequest
 from repro.arcade.model import ArcadeModel
 from repro.arcade.statespace import ArcadeStateSpace, build_state_space
-from repro.ctmc import steady_state_distribution
 
 
 def _as_state_space(system: ArcadeStateSpace | ArcadeModel) -> ArcadeStateSpace:
@@ -29,20 +29,47 @@ def _as_state_space(system: ArcadeStateSpace | ArcadeModel) -> ArcadeStateSpace:
     return build_state_space(system)
 
 
-def steady_state_availability(system: ArcadeStateSpace | ArcadeModel) -> float:
+def steady_state_availability_request(
+    system: ArcadeStateSpace | ArcadeModel, tag=None
+) -> MeasureRequest:
+    """Build the :class:`~repro.analysis.MeasureRequest` behind availability.
+
+    Submit several of these (different lines, repair strategies) to one
+    :class:`~repro.analysis.AnalysisSession` — or the scenario service — so
+    the whole availability table shares cached BSCC decompositions,
+    stationary solves and LU factorizations; this is how the case study's
+    Table 2 rides the warm path.
+    """
+    space = _as_state_space(system)
+    return MeasureRequest(
+        chain=space.chain,
+        times=(),
+        kind=MeasureKind.STEADY_STATE,
+        target="operational",
+        tag=tag,
+    )
+
+
+def steady_state_availability(
+    system: ArcadeStateSpace | ArcadeModel, *, artifacts=None
+) -> float:
     """Long-run probability that the system is operational.
 
     Equivalent to checking ``S=? [ "operational" ]`` on the model's CTMC.
+    A thin one-request :class:`~repro.analysis.AnalysisSession` wrapper;
+    pass ``artifacts`` (a :class:`repro.service.ArtifactCache`) to reuse
+    BSCC decompositions and factorizations across calls.
     """
-    space = _as_state_space(system)
-    distribution = steady_state_distribution(space.chain)
-    mask = space.chain.label_mask("operational")
-    return float(distribution[mask].sum())
+    session = AnalysisSession(artifacts=artifacts)
+    index = session.add(steady_state_availability_request(system))
+    return float(session.execute()[index].squeezed[0])
 
 
-def steady_state_unavailability(system: ArcadeStateSpace | ArcadeModel) -> float:
+def steady_state_unavailability(
+    system: ArcadeStateSpace | ArcadeModel, *, artifacts=None
+) -> float:
     """Long-run probability that the system is down (``S=? [ "down" ]``)."""
-    return 1.0 - steady_state_availability(system)
+    return 1.0 - steady_state_availability(system, artifacts=artifacts)
 
 
 def combined_availability(availabilities: Iterable[float]) -> float:

@@ -16,6 +16,8 @@ import numpy as np
 
 from repro.arcade.model import ArcadeModel
 from repro.arcade.statespace import ArcadeStateSpace, build_state_space
+from repro.ctmc.linsolve import SolverEngine
+from repro.ctmc.steady_state import steady_state_distribution
 
 
 def _as_state_space(system: ArcadeStateSpace | ArcadeModel) -> ArcadeStateSpace:
@@ -56,17 +58,25 @@ def states_with_service_at_least(
 
 def service_distribution(
     system: ArcadeStateSpace | ArcadeModel,
+    *,
+    engine: SolverEngine | None = None,
+    artifacts=None,
 ) -> dict[Fraction, float]:
     """Long-run probability of each attainable service level.
 
     A convenient summary that does not appear verbatim in the paper but is a
     direct by-product of its machinery: the steady-state distribution grouped
-    by service level.
+    by service level.  Like the transient measures, the computation accepts a
+    shared handle — either an existing
+    :class:`~repro.ctmc.linsolve.SolverEngine` or an ``artifacts`` cache
+    (:class:`repro.service.ArtifactCache`) — so repeated calls reuse the
+    chain's BSCC decomposition and stationary solve instead of recomputing
+    them per call.
     """
-    from repro.ctmc import steady_state_distribution
-
     space = _as_state_space(system)
-    distribution = steady_state_distribution(space.chain)
+    if engine is None:
+        engine = SolverEngine(artifacts=artifacts)
+    distribution = steady_state_distribution(space.chain, engine=engine)
     result: dict[Fraction, float] = {}
     for index, level in enumerate(space.service_levels):
         result[level] = result.get(level, 0.0) + float(distribution[index])

@@ -30,7 +30,9 @@ from repro.service.cache import (
 )
 from repro.service.dispatcher import (
     DEFAULT_COALESCE_WINDOW,
+    DEFAULT_LATENCY_BUCKETS,
     DEFAULT_MAX_BATCH,
+    LatencyHistogram,
     ScenarioService,
     ServiceClosed,
     ServiceStats,
@@ -47,9 +49,11 @@ __all__ = [
     "CacheKindStats",
     "CacheStats",
     "DEFAULT_COALESCE_WINDOW",
+    "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_MAX_BATCH",
     "DEFAULT_MAX_ENTRIES",
     "GLOBAL_ARTIFACTS",
+    "LatencyHistogram",
     "MEASURES",
     "ScenarioRegistry",
     "ScenarioService",

@@ -7,14 +7,29 @@ quotients, the same uniformized operators and largely the same Fox–Glynn
 windows.  :class:`ArtifactCache` keeps all four families in one bounded,
 hit/miss-instrumented LRU store:
 
-===============  =====================================================
-kind             key
-===============  =====================================================
-``transformed``  (chain fingerprint, absorbing-mask bytes)
-``quotient``     (chain fingerprint, observable signature)
-``operator``     (chain fingerprint, uniformization rate)
-``foxglynn``     (q·t, epsilon)
-===============  =====================================================
+=================  ===================================================
+kind               key
+=================  ===================================================
+``transformed``    (chain fingerprint, absorbing-mask bytes)
+``quotient``       (chain fingerprint, observable signature)
+``operator``       (chain fingerprint, uniformization rate)
+``foxglynn``       (q·t, epsilon)
+``factorization``  (chain fingerprint, system token) — LU factors of a
+                   long-run linear system restricted to a state subset
+                   (see :mod:`repro.ctmc.linsolve`)
+``bscc``           (chain fingerprint,) — the BSCC decomposition
+``stationary``     (chain fingerprint, subset signature + method) — one
+                   BSCC's stationary vector
+``absorption``     (chain fingerprint,) — the solved transient-to-BSCC
+                   absorption-probability matrix
+``embedded``       (chain fingerprint,) — the embedded (jump-chain)
+                   transition matrix
+=================  ===================================================
+
+The first four families are populated by the uniformization (transient)
+path, the last four by the long-run linear-solver engine
+(:class:`repro.ctmc.linsolve.SolverEngine`), which calls straight into
+:meth:`ArtifactCache.get_or_create`.
 
 Chains are keyed by :attr:`repro.ctmc.ctmc.CTMC.fingerprint` — a content
 hash of the rate matrix — so a *rebuilt* chain with identical dynamics
@@ -93,6 +108,20 @@ class CacheStats:
             for name, stats in sorted(self.kinds.items())
         ]
         return "cache: " + (" ".join(parts) if parts else "(empty)")
+
+    def metrics(self, prefix: str = "repro_cache") -> str:
+        """A ``/metrics``-style text dump, one labelled series per kind.
+
+        Complements :meth:`repro.service.ServiceStats.metrics`; printed by
+        ``python -m repro serve --metrics``.
+        """
+        lines: list[str] = []
+        for counter in ("hits", "misses", "evictions"):
+            metric = f"{prefix}_{counter}_total"
+            lines.append(f"# TYPE {metric} counter")
+            for name, stats in sorted(self.kinds.items()):
+                lines.append(f'{metric}{{kind="{name}"}} {getattr(stats, counter)}')
+        return "\n".join(lines)
 
 
 class ArtifactCache:

@@ -40,6 +40,7 @@ A quick example — three clients sharing one service::
 from __future__ import annotations
 
 import asyncio
+import time
 import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -54,6 +55,7 @@ from repro.analysis import (
     execution_units,
     normalise_request,
 )
+from repro.ctmc.linsolve import LinearSolveStats
 from repro.ctmc.uniformization import DEFAULT_EPSILON, UniformizationStats
 from repro.service.cache import GLOBAL_ARTIFACTS, ArtifactCache, CacheStats
 from repro.service.registry import ScenarioRegistry, paper_registry
@@ -72,13 +74,98 @@ class ServiceClosed(RuntimeError):
     """Raised by futures of submissions that a closing service abandoned."""
 
 
+#: Flush-latency bucket upper bounds in seconds: sub-millisecond flushes up
+#: to multi-second portfolio batches, roughly log-spaced (Prometheus style).
+DEFAULT_LATENCY_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0,
+)
+
+
+@dataclass
+class LatencyHistogram:
+    """A fixed-bucket latency histogram (Prometheus-compatible shape).
+
+    ``counts[i]`` is the number of observations with value at most
+    ``bounds[i]`` *exclusive of earlier buckets* (plain, not cumulative);
+    ``counts[-1]`` is the overflow bucket.  :meth:`metric_lines` renders the
+    cumulative ``_bucket``/``_sum``/``_count`` series of the Prometheus text
+    exposition format.
+    """
+
+    bounds: tuple[float, ...] = DEFAULT_LATENCY_BUCKETS
+    counts: list[int] = field(default_factory=list)
+    observations: int = 0
+    total_seconds: float = 0.0
+    max_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            self.counts = [0] * (len(self.bounds) + 1)
+        elif len(self.counts) != len(self.bounds) + 1:
+            raise ValueError("counts must have one entry per bucket plus overflow")
+
+    def observe(self, seconds: float) -> None:
+        """Record one latency observation."""
+        seconds = float(seconds)
+        index = 0
+        while index < len(self.bounds) and seconds > self.bounds[index]:
+            index += 1
+        self.counts[index] += 1
+        self.observations += 1
+        self.total_seconds += seconds
+        self.max_seconds = max(self.max_seconds, seconds)
+
+    def quantile_bound(self, quantile: float) -> float:
+        """The smallest bucket bound covering ``quantile`` of observations.
+
+        Returns ``inf`` when the quantile falls into the overflow bucket and
+        ``nan`` when nothing was observed; an upper *bound*, not an
+        interpolated estimate — honest about the bucket resolution.
+        """
+        if not self.observations:
+            return float("nan")
+        needed = quantile * self.observations
+        cumulative = 0
+        for bound, count in zip(self.bounds, self.counts):
+            cumulative += count
+            if cumulative >= needed:
+                return bound
+        return float("inf")
+
+    def summary(self) -> str:
+        """One line for CLI output and logs."""
+        if not self.observations:
+            return "flush_latency: (no flushes)"
+        mean = self.total_seconds / self.observations
+        return (
+            f"flush_latency: n={self.observations} mean={mean * 1e3:.1f}ms "
+            f"p50<={self.quantile_bound(0.5) * 1e3:.1f}ms "
+            f"p95<={self.quantile_bound(0.95) * 1e3:.1f}ms "
+            f"max={self.max_seconds * 1e3:.1f}ms"
+        )
+
+    def metric_lines(self, name: str) -> list[str]:
+        """Prometheus text-format ``_bucket``/``_sum``/``_count`` series."""
+        lines = [f"# TYPE {name} histogram"]
+        cumulative = 0
+        for bound, count in zip(self.bounds, self.counts):
+            cumulative += count
+            lines.append(f'{name}_bucket{{le="{bound}"}} {cumulative}')
+        lines.append(f'{name}_bucket{{le="+Inf"}} {self.observations}')
+        lines.append(f"{name}_sum {self.total_seconds:.6f}")
+        lines.append(f"{name}_count {self.observations}")
+        return lines
+
+
 @dataclass
 class ServiceStats:
     """Counters describing what the service did across its lifetime.
 
     ``session`` aggregates the usual planner/executor work counters
-    (requests, groups, sweeps, matvecs, lumping compression) over every
-    flush; the service-level counters describe the queueing layer above.
+    (requests, groups, sweeps, matvecs, lumping compression, linear-solver
+    factorizations) over every flush; the service-level counters describe
+    the queueing layer above, and ``flush_latency`` histograms the
+    wall-clock duration of each flush (validation + planning + execution).
     """
 
     submissions: int = 0
@@ -87,6 +174,7 @@ class ServiceStats:
     flushes: int = 0
     largest_flush: int = 0
     session: SessionStats = field(default_factory=SessionStats)
+    flush_latency: LatencyHistogram = field(default_factory=LatencyHistogram)
 
     @property
     def coalesced_per_flush(self) -> float:
@@ -100,7 +188,42 @@ class ServiceStats:
             f"coalesced/flush={self.coalesced_per_flush:.1f} "
             f"largest_flush={self.largest_flush} failed={self.failed} | "
             + self.session.summary()
+            + " | "
+            + self.flush_latency.summary()
         )
+
+    def metrics(self, prefix: str = "repro_service") -> str:
+        """A ``/metrics``-style text dump of every counter (Prometheus format).
+
+        Printed by ``python -m repro serve --metrics`` and intended to be
+        served verbatim by a future HTTP front end.
+        """
+        counters = {
+            "submissions_total": self.submissions,
+            "completed_total": self.completed,
+            "failed_total": self.failed,
+            "flushes_total": self.flushes,
+            "largest_flush": self.largest_flush,
+            "requests_total": self.session.requests,
+            "groups_total": self.session.groups,
+            "sweeps_total": self.session.sweeps,
+            "matvecs_total": self.session.matvecs,
+            "applies_total": self.session.applies,
+            "sparse_flops_total": self.session.sparse_flops,
+            "factorizations_total": self.session.factorizations,
+            "linear_solves_total": self.session.linear_solves,
+            "solved_columns_total": self.session.solved_columns,
+            "lumped_groups_total": self.session.lumped_groups,
+            "lump_failures_total": self.session.lump_failures,
+        }
+        lines: list[str] = []
+        for name, value in counters.items():
+            metric = f"{prefix}_{name}"
+            kind = "gauge" if name == "largest_flush" else "counter"
+            lines.append(f"# TYPE {metric} {kind}")
+            lines.append(f"{metric} {value}")
+        lines.extend(self.flush_latency.metric_lines(f"{prefix}_flush_latency_seconds"))
+        return "\n".join(lines)
 
 
 @dataclass
@@ -391,7 +514,13 @@ class ScenarioService:
     async def _flush(self, batch: list[_Pending]) -> None:
         self.stats.flushes += 1
         self.stats.largest_flush = max(self.stats.largest_flush, len(batch))
+        started = time.perf_counter()
+        try:
+            await self._flush_batch(batch)
+        finally:
+            self.stats.flush_latency.observe(time.perf_counter() - started)
 
+    async def _flush_batch(self, batch: list[_Pending]) -> None:
         loop = asyncio.get_running_loop()
         try:
             survivors, rejected, plan = await loop.run_in_executor(
@@ -412,19 +541,22 @@ class ScenarioService:
         results: list[MeasureResult | None] = [None] * plan.num_requests
         errors: dict[int, BaseException] = {}
         engines: list[UniformizationStats] = []
+        linears: list[LinearSolveStats] = []
 
         async def run_unit(unit) -> None:
             # Units write disjoint results slots, so they may run
             # concurrently; a failing unit poisons only its own members.
             engine = UniformizationStats()
+            linear = LinearSolveStats()
             try:
                 await loop.run_in_executor(
-                    self._pool, unit.run, results, engine, self.artifacts
+                    self._pool, unit.run, results, engine, self.artifacts, linear
                 )
             except Exception as error:
                 for index in unit.request_indices:
                     errors[index] = error
             engines.append(engine)
+            linears.append(linear)
 
         await asyncio.gather(*(run_unit(unit) for unit in execution_units(plan)))
 
@@ -432,6 +564,8 @@ class ScenarioService:
         session.absorb_plan(plan)
         for engine in engines:
             session.absorb_engine(engine)
+        for linear in linears:
+            session.absorb_linear(linear)
 
         for position, pending in enumerate(survivors):
             if position in errors:

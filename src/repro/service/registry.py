@@ -40,12 +40,21 @@ from repro.casestudy.facility import (
 from repro.measures import (
     accumulated_cost_request,
     instantaneous_cost_request,
+    steady_state_availability_request,
     survivability_request,
     unreliability_request,
 )
 
-#: Measure families a spec may declare.
-MEASURES = ("survivability", "unreliability", "instantaneous_cost", "accumulated_cost")
+#: Measure families a spec may declare.  ``availability`` is the long-run
+#: member: it expands to time-grid-free ``STEADY_STATE`` requests that ride
+#: the cached linear-solver engine instead of uniformization sweeps.
+MEASURES = (
+    "survivability",
+    "unreliability",
+    "instantaneous_cost",
+    "accumulated_cost",
+    "availability",
+)
 
 
 @dataclass(frozen=True)
@@ -96,6 +105,17 @@ class ScenarioSpec:
         """Concrete measure requests for every curve of the family."""
         grid = self.times(points)
         requests: list[MeasureRequest] = []
+        if self.measure == "availability":
+            # Long-run measure: no time grid; the points override is moot.
+            for line in self.lines:
+                for configuration in self.strategies:
+                    requests.append(
+                        steady_state_availability_request(
+                            line_state_space(line, configuration),
+                            tag=(self.name, line, configuration.label),
+                        )
+                    )
+            return requests
         if self.measure == "unreliability":
             for line in self.lines:
                 for configuration in self.strategies:
@@ -193,6 +213,15 @@ def paper_registry() -> ScenarioRegistry:
     """The paper's figure families as ready-to-expand scenario specs."""
     return ScenarioRegistry(
         (
+            ScenarioSpec(
+                name="table2",
+                measure="availability",
+                lines=(LINE1, LINE2),
+                strategies=PAPER_STRATEGIES,
+                description=(
+                    "Steady-state availability per repair strategy (both lines)"
+                ),
+            ),
             ScenarioSpec(
                 name="fig3",
                 measure="unreliability",
