@@ -1,0 +1,133 @@
+"""Perf benchmark — the sharded multi-process scenario service.
+
+Two acceptance gates of the shard-out subsystem, measured in the workers'
+own cache counters (observed through the shared-nothing stats protocol, not
+estimated):
+
+* **Warm shard caches (repeat portfolio)** — the same portfolio (Fig. 4/5,
+  Fig. 8/9 and the Table 2 availability grid: both lines, transient *and*
+  long-run kinds) is swept twice through one 2-shard service.  Gate: on the
+  second sweep **neither shard reports a single factorization or quotient
+  miss** (nor transform/operator/Fox–Glynn misses) — per-shard chain
+  ownership keeps every LU factorization, BSCC decomposition and lumping
+  quotient warm exactly where its chain lives.
+
+* **Exclusive chain ownership (fingerprint routing)** — after the sweeps,
+  the two shards' artifact caches must cover **disjoint chain-fingerprint
+  sets** while both shards actually served traffic: routing by content
+  fingerprint never computes the same chain's artifacts on two workers, so
+  shard-out adds capacity without duplicating cache work.
+
+Values are additionally pinned against a single-process
+:class:`repro.service.ScenarioService` run of the identical portfolio
+(<= 1e-12).  ``REPRO_BENCH_FAST=1`` (the CI regression step) switches to
+coarser grids; the gates hold there too.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import time as time_module
+
+import numpy as np
+from bench_support import run_once
+
+from repro.service import (
+    ArtifactCache,
+    CacheStats,
+    ScenarioService,
+    ShardedScenarioService,
+    paper_registry,
+)
+
+FAST = bool(os.environ.get("REPRO_BENCH_FAST"))
+POINTS = 9 if FAST else 31
+NUM_SHARDS = 2
+SCENARIOS = ("fig4_5", "fig8_9", "table2")
+
+_REGISTRY = paper_registry()
+
+
+def _portfolio():
+    """Both lines' survivability families plus the availability table."""
+    return [
+        request
+        for name in SCENARIOS
+        for request in _REGISTRY.expand(name, points=POINTS)
+    ]
+
+
+def test_sharded_portfolio_warm_caches_and_exclusive_ownership(benchmark):
+    """Warm repeat: zero per-shard factorization/quotient misses; chains owned once."""
+    portfolio = _portfolio()
+
+    async def baseline():
+        service = ScenarioService(
+            artifacts=ArtifactCache(), lump=True, coalesce_window=0.05, max_batch=1024
+        )
+        async with service:
+            return await service.submit_many(list(portfolio))
+
+    reference = asyncio.run(baseline())
+
+    def sharded_rounds():
+        async def run():
+            async with ShardedScenarioService(
+                NUM_SHARDS, lump=True, coalesce_window=0.05, max_batch=1024
+            ) as sharded:
+                cold = await sharded.submit_many(list(portfolio))
+                cold_snapshots = await sharded.shard_snapshots()
+                warm = await sharded.submit_many(list(portfolio))
+                warm_snapshots = await sharded.shard_snapshots()
+                return cold, warm, cold_snapshots, warm_snapshots, sharded.stats
+
+        return asyncio.run(run())
+
+    started = time_module.perf_counter()
+    cold, warm, cold_snapshots, warm_snapshots, stats = run_once(
+        benchmark, sharded_rounds
+    )
+    seconds = time_module.perf_counter() - started
+
+    deviation = max(
+        float(np.max(np.abs(result.values - expected.values)))
+        for result, expected in zip(cold + warm, reference + reference)
+    )
+    warm_deltas = {
+        snapshot.index: snapshot.cache.misses_since(
+            next(c for c in cold_snapshots if c.index == snapshot.index).cache
+            or CacheStats()
+        )
+        for snapshot in warm_snapshots
+    }
+    owned = {snapshot.index: snapshot.fingerprints for snapshot in warm_snapshots}
+
+    print()
+    print(
+        f"{len(portfolio)}-request portfolio x 2 rounds on {NUM_SHARDS} shards "
+        f"({seconds:.3f}s wall): routed {dict(sorted(stats.routed.items()))}, "
+        f"warm miss deltas {warm_deltas}, "
+        f"owned chains {({i: len(f) for i, f in sorted(owned.items())})}, "
+        f"max deviation vs single process {deviation:.2e}"
+    )
+
+    assert deviation <= 1e-12
+
+    # Gate 1 — warm repeat: zero factorization/quotient (and transform/
+    # operator/window) misses on EITHER shard.
+    for index, deltas in warm_deltas.items():
+        for kind in ("factorization", "quotient", "transformed", "operator", "foxglynn"):
+            assert deltas.get(kind, 0) == 0, (
+                f"shard {index} recomputed {kind} artifacts on the warm round: "
+                f"{deltas}"
+            )
+
+    # Gate 2 — exclusive ownership: both shards served chains, and no chain's
+    # artifacts were ever computed on more than one shard.
+    assert all(count > 0 for count in stats.routed.values())
+    assert all(owned.values())
+    assert not (owned[0] & owned[1]), (
+        f"fingerprint routing duplicated chains across shards: "
+        f"{sorted(owned[0] & owned[1])}"
+    )

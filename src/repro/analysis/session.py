@@ -80,6 +80,26 @@ class SessionStats:
         self.linear_solves += linear.solves
         self.solved_columns += linear.columns
 
+    def absorb(self, other: "SessionStats") -> None:
+        """Accumulate another stats object field-by-field.
+
+        Used by the sharded scenario service to merge per-shard session
+        counters into one aggregate for ``/metrics``.
+        """
+        self.requests += other.requests
+        self.groups += other.groups
+        self.sweeps += other.sweeps
+        self.matvecs += other.matvecs
+        self.applies += other.applies
+        self.sparse_flops += other.sparse_flops
+        self.factorizations += other.factorizations
+        self.linear_solves += other.linear_solves
+        self.solved_columns += other.solved_columns
+        self.lumped_groups += other.lumped_groups
+        self.lumped_states_before += other.lumped_states_before
+        self.lumped_states_after += other.lumped_states_after
+        self.lump_failures += other.lump_failures
+
     def absorb_plan(self, plan: ExecutionPlan) -> None:
         """Account for an executed plan's requests, groups and lumping.
 

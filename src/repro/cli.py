@@ -10,6 +10,9 @@ Usage examples::
     python -m repro all --output results # also write CSV files per experiment
     python -m repro serve --clients 4 --repeat 2   # scenario service sweep
     python -m repro serve --metrics      # plus a /metrics-style text dump
+    python -m repro serve --http 8080    # HTTP front end (POST /scenario)
+    python -m repro serve --http 8080 --shards 2 --max-pending 256 \
+        --timeout 30                     # sharded, with backpressure
 
 Every experiment name matches the table/figure numbering of the paper; see
 DESIGN.md for the experiment index.
@@ -220,7 +223,108 @@ def build_serve_parser() -> argparse.ArgumentParser:
             "latency histogram, per-kind cache hits/misses) after the sweep"
         ),
     )
+    parser.add_argument(
+        "--http",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "serve POST /scenario, GET /registry and GET /metrics over HTTP on "
+            "PORT instead of running a local sweep (0 picks an ephemeral port)"
+        ),
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for --http (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "with --http: partition scenario portfolios across N worker "
+            "processes routed by chain fingerprint (default: 0 = in-process)"
+        ),
+    )
+    parser.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "bounded-queue backpressure: reject submissions beyond N pending "
+            "(HTTP maps the rejection to 503; default: unbounded)"
+        ),
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "per-request deadline; an expired request fails alone with a "
+            "timeout (HTTP: 504; default: none)"
+        ),
+    )
     return parser
+
+
+def serve_http_main(args: argparse.Namespace) -> int:
+    """Run the HTTP front end (``python -m repro serve --http PORT``)."""
+    from repro.service import (
+        ArtifactCache,
+        ScenarioHTTPServer,
+        ScenarioService,
+        ShardedScenarioService,
+        paper_registry,
+    )
+
+    async def run() -> None:
+        if args.shards > 0:
+            service = ShardedScenarioService(
+                args.shards,
+                lump=args.lump,
+                coalesce_window=args.window,
+                max_batch=args.max_batch,
+                max_pending=args.max_pending,
+                default_timeout=args.timeout,
+                registry=paper_registry(),
+            )
+        else:
+            service = ScenarioService(
+                lump=args.lump,
+                coalesce_window=args.window,
+                max_batch=args.max_batch,
+                max_pending=args.max_pending,
+                default_timeout=args.timeout,
+                artifacts=ArtifactCache(),
+                registry=paper_registry(),
+            )
+        async with service:
+            server = ScenarioHTTPServer(service, host=args.host, port=args.http)
+            await server.start()
+            host, port = server.address
+            backend = (
+                f"{args.shards} shard processes" if args.shards > 0 else "in-process"
+            )
+            print(f"serving on http://{host}:{port} ({backend})")
+            print("  POST /scenario   e.g. curl -d '{\"name\": \"fig4_5\"}' "
+                  f"http://{host}:{port}/scenario")
+            print(f"  GET  /registry   GET  /metrics")
+            try:
+                await server.serve_forever()
+            except asyncio.CancelledError:
+                pass
+            finally:
+                await server.close()
+
+    try:
+        asyncio.run(run())
+    except KeyboardInterrupt:
+        print("interrupted; shutting down")
+    return 0
 
 
 def serve_main(argv: list[str] | None = None) -> int:
@@ -228,6 +332,8 @@ def serve_main(argv: list[str] | None = None) -> int:
     from repro.service import ArtifactCache, ScenarioService, paper_registry
 
     args = build_serve_parser().parse_args(argv)
+    if args.http is not None:
+        return serve_http_main(args)
     registry = paper_registry()
     names = args.scenarios if args.scenarios else list(registry.names)
     for name in names:
@@ -244,6 +350,8 @@ def serve_main(argv: list[str] | None = None) -> int:
             lump=args.lump,
             coalesce_window=args.window,
             max_batch=args.max_batch,
+            max_pending=args.max_pending,
+            default_timeout=args.timeout,
             artifacts=ArtifactCache(),
             registry=registry,
         )

@@ -7,7 +7,16 @@ the heavy-traffic north star:
 * :class:`ScenarioService` — an asyncio front end; many clients
   ``await submit(...)`` measure requests (or registered scenario names), a
   micro-batching dispatcher coalesces submissions across callers into one
-  plan per flush and executes independent groups on a worker pool;
+  plan per flush and executes independent groups on a worker pool, with
+  bounded-queue backpressure (:class:`QueueFull`) and per-request deadlines
+  (:class:`ScenarioTimeout`);
+* :class:`ShardedScenarioService` — the multi-process front:
+  scenario portfolios partitioned across N spawn workers (one service +
+  artifact cache each) with per-shard chain ownership via fingerprint
+  routing and a shared-nothing stats-snapshot protocol for ``/metrics``;
+* :class:`ScenarioHTTPServer` — a minimal asyncio HTTP server
+  (``POST /scenario``, ``GET /registry``, ``GET /metrics``) over either
+  front (``python -m repro serve --http PORT [--shards N]``);
 * :class:`ArtifactCache` / :data:`GLOBAL_ARTIFACTS` — the process-wide,
   bounded, hit/miss-instrumented store of absorbing transforms, lumping
   quotients, uniformized operators and Fox–Glynn windows, keyed by stable
@@ -33,15 +42,26 @@ from repro.service.dispatcher import (
     DEFAULT_LATENCY_BUCKETS,
     DEFAULT_MAX_BATCH,
     LatencyHistogram,
+    QueueFull,
     ScenarioService,
+    ScenarioTimeout,
     ServiceClosed,
     ServiceStats,
 )
+from repro.service.http import ScenarioHTTPServer
 from repro.service.registry import (
     MEASURES,
     ScenarioRegistry,
     ScenarioSpec,
     paper_registry,
+)
+from repro.service.shard import (
+    DEFAULT_NUM_SHARDS,
+    ShardCrashed,
+    ShardedScenarioService,
+    ShardedServiceStats,
+    ShardSnapshot,
+    shard_for_fingerprint,
 )
 
 __all__ = [
@@ -52,13 +72,22 @@ __all__ = [
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_MAX_BATCH",
     "DEFAULT_MAX_ENTRIES",
+    "DEFAULT_NUM_SHARDS",
     "GLOBAL_ARTIFACTS",
     "LatencyHistogram",
     "MEASURES",
+    "QueueFull",
+    "ScenarioHTTPServer",
     "ScenarioRegistry",
     "ScenarioService",
     "ScenarioSpec",
+    "ScenarioTimeout",
     "ServiceClosed",
     "ServiceStats",
+    "ShardCrashed",
+    "ShardSnapshot",
+    "ShardedScenarioService",
+    "ShardedServiceStats",
     "paper_registry",
+    "shard_for_fingerprint",
 ]

@@ -89,6 +89,14 @@ class CacheStats:
     def kind(self, name: str) -> CacheKindStats:
         return self.kinds.get(name, CacheKindStats())
 
+    def absorb(self, other: "CacheStats") -> None:
+        """Accumulate another snapshot (e.g. one shard's cache counters)."""
+        for name, stats in other.kinds.items():
+            mine = self.kinds.setdefault(name, CacheKindStats())
+            mine.hits += stats.hits
+            mine.misses += stats.misses
+            mine.evictions += stats.evictions
+
     def misses_since(self, earlier: "CacheStats") -> dict[str, int]:
         """Per-kind miss deltas relative to an earlier snapshot.
 
@@ -202,6 +210,22 @@ class ArtifactCache:
         with self._lock:
             return CacheStats(
                 {name: counters.copy() for name, counters in self._stats.items()}
+            )
+
+    def chain_fingerprints(self) -> frozenset[str]:
+        """The chain fingerprints that currently key at least one artifact.
+
+        Every kind except ``foxglynn`` (which is keyed by the rate product
+        ``q·t`` alone) leads its key with the chain's content fingerprint.
+        The sharded-service benchmark gates on per-shard fingerprint sets
+        being disjoint: routing by fingerprint must never build the same
+        chain's artifacts on two shards.
+        """
+        with self._lock:
+            return frozenset(
+                key[0]
+                for kind, key in self._entries
+                if kind != "foxglynn" and key and isinstance(key[0], str)
             )
 
     # ------------------------------------------------------------------

@@ -74,6 +74,25 @@ class ServiceClosed(RuntimeError):
     """Raised by futures of submissions that a closing service abandoned."""
 
 
+class QueueFull(RuntimeError):
+    """Raised by ``submit()`` when the bounded pending queue is at capacity.
+
+    Backpressure is synchronous and cheap: the rejected submission never
+    enters the queue, so it cannot poison other callers or occupy a slot a
+    retry could use.  Clients are expected to back off and resubmit (the
+    HTTP front end maps this to ``503``).
+    """
+
+
+class ScenarioTimeout(TimeoutError):
+    """Raised by ``submit()`` when a per-request deadline expires.
+
+    The deadline cancels only the submitting caller's future: the shared
+    flush keeps running for its other members, and a result arriving after
+    the deadline is discarded instead of resolving a stale future.
+    """
+
+
 #: Flush-latency bucket upper bounds in seconds: sub-millisecond flushes up
 #: to multi-second portfolio batches, roughly log-spaced (Prometheus style).
 DEFAULT_LATENCY_BUCKETS = (
@@ -144,6 +163,20 @@ class LatencyHistogram:
             f"max={self.max_seconds * 1e3:.1f}ms"
         )
 
+    def absorb(self, other: "LatencyHistogram") -> None:
+        """Merge another histogram of identical bucket bounds into this one.
+
+        Used when aggregating per-shard snapshots into one ``/metrics``
+        dump; mismatched bounds would silently mis-bucket, so they raise.
+        """
+        if other.bounds != self.bounds:
+            raise ValueError("cannot merge histograms with different bucket bounds")
+        for index, count in enumerate(other.counts):
+            self.counts[index] += count
+        self.observations += other.observations
+        self.total_seconds += other.total_seconds
+        self.max_seconds = max(self.max_seconds, other.max_seconds)
+
     def metric_lines(self, name: str) -> list[str]:
         """Prometheus text-format ``_bucket``/``_sum``/``_count`` series."""
         lines = [f"# TYPE {name} histogram"]
@@ -171,6 +204,8 @@ class ServiceStats:
     submissions: int = 0
     completed: int = 0
     failed: int = 0
+    rejected: int = 0
+    timeouts: int = 0
     flushes: int = 0
     largest_flush: int = 0
     session: SessionStats = field(default_factory=SessionStats)
@@ -181,12 +216,30 @@ class ServiceStats:
         """Mean number of submissions sharing one plan (1.0 = no coalescing)."""
         return self.session.requests / self.flushes if self.flushes else 0.0
 
+    def absorb(self, other: "ServiceStats") -> None:
+        """Accumulate another stats object (e.g. one shard's snapshot)."""
+        self.submissions += other.submissions
+        self.completed += other.completed
+        self.failed += other.failed
+        self.rejected += other.rejected
+        self.timeouts += other.timeouts
+        self.flushes += other.flushes
+        self.largest_flush = max(self.largest_flush, other.largest_flush)
+        self.session.absorb(other.session)
+        self.flush_latency.absorb(other.flush_latency)
+
     def summary(self) -> str:
         """One line for CLI output and logs."""
+        backpressure = (
+            f" rejected={self.rejected} timeouts={self.timeouts}"
+            if self.rejected or self.timeouts
+            else ""
+        )
         return (
             f"service: submissions={self.submissions} flushes={self.flushes} "
             f"coalesced/flush={self.coalesced_per_flush:.1f} "
-            f"largest_flush={self.largest_flush} failed={self.failed} | "
+            f"largest_flush={self.largest_flush} failed={self.failed}"
+            f"{backpressure} | "
             + self.session.summary()
             + " | "
             + self.flush_latency.summary()
@@ -202,6 +255,8 @@ class ServiceStats:
             "submissions_total": self.submissions,
             "completed_total": self.completed,
             "failed_total": self.failed,
+            "rejected_total": self.rejected,
+            "timeouts_total": self.timeouts,
             "flushes_total": self.flushes,
             "largest_flush": self.largest_flush,
             "requests_total": self.session.requests,
@@ -226,6 +281,28 @@ class ServiceStats:
         return "\n".join(lines)
 
 
+async def await_with_deadline(
+    future: asyncio.Future, timeout: float | None, stats: Any
+) -> Any:
+    """Await a submission future under a per-request deadline.
+
+    Expiry cancels *this* future only (``asyncio.wait_for`` semantics):
+    siblings in the same flush are untouched.  Shared by the in-process
+    dispatcher and the sharded front so their timeout semantics (counter,
+    exception type, message) cannot drift; ``stats`` only needs a
+    ``timeouts`` attribute.
+    """
+    if timeout is None:
+        return await future
+    try:
+        return await asyncio.wait_for(future, timeout)
+    except asyncio.TimeoutError:
+        stats.timeouts += 1
+        raise ScenarioTimeout(
+            f"scenario request did not complete within {timeout}s"
+        ) from None
+
+
 @dataclass
 class _Pending:
     """One queued submission: the request plus the caller's future."""
@@ -244,6 +321,14 @@ class ScenarioService:
         pending one before flushing (``0`` flushes every loop tick).
     max_batch:
         Pending-request count that cuts the window short.
+    max_pending:
+        Bound on the number of queued-but-unflushed submissions; beyond it
+        ``submit()`` raises :class:`QueueFull` instead of enqueueing
+        (``None`` = unbounded, the default).
+    default_timeout:
+        Per-request deadline in seconds applied when ``submit()`` is not
+        given an explicit one; expiry raises :class:`ScenarioTimeout` and
+        cancels only that caller's future (``None`` = no deadline).
     lump:
         Solve every group on its ordinary-lumpability quotient (quotients
         are cached process-wide per (chain, observable signature)).
@@ -267,6 +352,8 @@ class ScenarioService:
         *,
         coalesce_window: float = DEFAULT_COALESCE_WINDOW,
         max_batch: int = DEFAULT_MAX_BATCH,
+        max_pending: int | None = None,
+        default_timeout: float | None = None,
         lump: bool = False,
         batched: bool = True,
         epsilon: float = DEFAULT_EPSILON,
@@ -278,8 +365,16 @@ class ScenarioService:
             raise ValueError("coalesce_window must be non-negative")
         if max_batch < 1:
             raise ValueError("max_batch must be at least 1")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be at least 1 (or None)")
+        if default_timeout is not None and default_timeout <= 0:
+            raise ValueError("default_timeout must be positive (or None)")
         self.coalesce_window = float(coalesce_window)
         self.max_batch = int(max_batch)
+        self.max_pending = None if max_pending is None else int(max_pending)
+        self.default_timeout = (
+            None if default_timeout is None else float(default_timeout)
+        )
         self.lump = lump
         self.batched = batched
         self.default_epsilon = float(epsilon)
@@ -363,11 +458,29 @@ class ScenarioService:
         """Snapshot of the artifact cache's per-kind hit/miss counters."""
         return self.artifacts.stats()
 
+    def metrics_text(self) -> str:
+        """The full Prometheus text dump: service counters plus cache counters.
+
+        What ``GET /metrics`` of the HTTP front end serves for a
+        single-process service (the sharded service aggregates one of these
+        per shard).
+        """
+        return self.stats.metrics() + "\n" + self.cache_stats().metrics() + "\n"
+
     # ------------------------------------------------------------------
     # submission API
     # ------------------------------------------------------------------
     def _enqueue(self, request: MeasureRequest) -> asyncio.Future:
         self._ensure_running()
+        if (
+            self.max_pending is not None
+            and len(self._pending) >= self.max_pending
+        ):
+            self.stats.rejected += 1
+            raise QueueFull(
+                f"scenario service has {len(self._pending)} pending submissions "
+                f"(max_pending={self.max_pending}); back off and resubmit"
+            )
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending.append(_Pending(request=request, future=future))
         self.stats.submissions += 1
@@ -376,31 +489,62 @@ class ScenarioService:
         self._arrival.set()
         return future
 
-    async def submit(self, request: MeasureRequest) -> MeasureResult:
+    async def _await_with_deadline(
+        self, future: asyncio.Future, timeout: float | None
+    ) -> MeasureResult:
+        """Await under the effective deadline; the dispatcher later skips
+        futures the expiry cancelled."""
+        timeout = self.default_timeout if timeout is None else timeout
+        return await await_with_deadline(future, timeout, self.stats)
+
+    async def submit(
+        self, request: MeasureRequest, timeout: float | None = None
+    ) -> MeasureResult:
         """Queue one request and await its result.
 
         The call coalesces with every other submission pending in the same
         window; the returned result is exactly the slice this request would
         have received from a standalone session (values equal to 1e-12).
+        With the pending queue at ``max_pending`` the call raises
+        :class:`QueueFull` without enqueueing; ``timeout`` (or the service's
+        ``default_timeout``) bounds the wait and raises
+        :class:`ScenarioTimeout` on expiry, cancelling only this future.
         """
-        return await self._enqueue(request)
+        future = self._enqueue(request)
+        return await self._await_with_deadline(future, timeout)
 
-    async def submit_many(self, requests: list[MeasureRequest]) -> list[MeasureResult]:
+    async def submit_many(
+        self, requests: list[MeasureRequest], timeout: float | None = None
+    ) -> list[MeasureResult]:
         """Queue several requests at once and await all their results.
 
         Raises the first failure, but only after every future has settled —
         so sibling failures are all retrieved (no orphaned exceptions) and
-        the dispatcher is never left with half-awaited futures.
+        the dispatcher is never left with half-awaited futures.  The
+        optional ``timeout`` applies per request, not to the batch total.
         """
-        futures = [self._enqueue(request) for request in requests]
-        settled = await asyncio.gather(*futures, return_exceptions=True)
+        futures: list[asyncio.Future] = []
+        try:
+            for request in requests:
+                futures.append(self._enqueue(request))
+        except QueueFull:
+            # All-or-nothing: cancelling the partial batch makes the
+            # dispatcher drop it before planning, so a rejected caller is
+            # never billed for half a family computing in the background.
+            for future in futures:
+                future.cancel()
+            raise
+        settled = await asyncio.gather(
+            *(self._await_with_deadline(future, timeout) for future in futures),
+            return_exceptions=True,
+        )
         for outcome in settled:
             if isinstance(outcome, BaseException):
                 raise outcome
         return list(settled)
 
     async def submit_scenario(
-        self, name: str, points: int | None = None
+        self, name: str, points: int | None = None, timeout: float | None = None
     ) -> list[tuple[MeasureRequest, MeasureResult]]:
         """Expand a registered scenario and await the whole family.
 
@@ -414,7 +558,7 @@ class ScenarioService:
         requests = await asyncio.get_running_loop().run_in_executor(
             self._pool, partial(self.registry.expand, name, points=points)
         )
-        results = await self.submit_many(requests)
+        results = await self.submit_many(requests, timeout=timeout)
         return list(zip(requests, results))
 
     # ------------------------------------------------------------------
@@ -456,6 +600,14 @@ class ScenarioService:
             self._pending = self._pending[self.max_batch :]
             if self._pending:
                 self._arrival.set()
+            # Submissions whose deadline expired while queued are already
+            # cancelled; planning them would waste the whole flush's sweep
+            # budget on results nobody can receive.
+            batch = [pending for pending in batch if not pending.future.done()]
+            if not batch:
+                if not self._pending:
+                    self._idle.set()
+                continue
             self._flushing = True
             try:
                 await self._flush(batch)
@@ -575,10 +727,9 @@ class ScenarioService:
                     pending,
                     RuntimeError("request was not resolved by any execution unit"),
                 )
-            else:
+            elif not pending.future.done():
                 self.stats.completed += 1
-                if not pending.future.done():
-                    pending.future.set_result(results[position])
+                pending.future.set_result(results[position])
 
     def _fail(self, pending: _Pending, error: BaseException) -> None:
         if not pending.future.done():

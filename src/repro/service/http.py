@@ -1,0 +1,347 @@
+"""Minimal asyncio HTTP front end for the scenario services.
+
+:class:`ScenarioHTTPServer` exposes a :class:`repro.service.ScenarioService`
+or :class:`repro.service.ShardedScenarioService` to real multi-client
+traffic over three endpoints:
+
+``POST /scenario``
+    Body ``{"name": "fig4_5", "points": 31, "timeout": 10.0}`` (``points``
+    and ``timeout`` optional).  Expands the named scenario, awaits the whole
+    family through the backing service (coalescing/routing included) and
+    returns one JSON curve per request: ``{"tag": [...], "times": [...],
+    "values": [...], "lumped_states": ...}``.
+``GET /registry``
+    The registered scenario specs as JSON (names, measures, grids).
+``GET /metrics``
+    The Prometheus text dump of the backing service — for the sharded
+    service this aggregates every worker's ``ServiceStats``/``CacheStats``
+    through the shared-nothing snapshot protocol.
+
+Backpressure and deadlines surface as proper status codes: a
+:class:`~repro.service.QueueFull` rejection maps to ``503`` (with a
+``Retry-After`` hint) and an expired deadline to ``504``, so well-behaved
+clients can back off without parsing bodies.
+
+The server is stdlib-only (``asyncio.start_server`` with a hand-rolled
+HTTP/1.1 reader) — deliberately so: the container has no third-party HTTP
+framework, and the protocol surface needed here is tiny.  Keep-alive is
+supported; request bodies are capped at 1 MiB.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+import json
+from collections import Counter
+from typing import Any
+
+import numpy as np
+
+from repro.service.dispatcher import QueueFull, ScenarioTimeout
+
+#: Upper bound on accepted request-body sizes.
+MAX_BODY_BYTES = 1 << 20
+
+#: Upper bound on header lines per request (anti-resource-exhaustion).
+MAX_HEADER_LINES = 100
+
+_STATUS_TEXT = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class _HTTPError(Exception):
+    """Internal control flow: abort the request with a status and message."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+def _json_floats(array: np.ndarray) -> list:
+    """An array as nested lists with non-finite entries mapped to ``None``.
+
+    Long-run measures carry ``t = inf`` grid points and unreachable-target
+    reward queries produce ``inf`` values; strict JSON has no spelling for
+    either, so they travel as ``null``.
+    """
+    def convert(value):
+        if isinstance(value, list):
+            return [convert(item) for item in value]
+        return value if value is not None and np.isfinite(value) else None
+
+    return convert(np.asarray(array, dtype=float).tolist())
+
+
+def _jsonable(value: Any) -> Any:
+    """Make a request tag / payload JSON-serialisable (tuples, numpy types)."""
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+class ScenarioHTTPServer:
+    """Serve a scenario service over HTTP (see module docstring).
+
+    Parameters
+    ----------
+    service:
+        The backing :class:`~repro.service.ScenarioService` or
+        :class:`~repro.service.ShardedScenarioService` (anything with
+        ``submit_scenario``, ``metrics_text`` and a ``registry``).  The
+        server does not own the service: start and close it separately.
+    host, port:
+        Bind address; port ``0`` picks an ephemeral port (see
+        :attr:`address` after :meth:`start`) — what the tests use.
+    """
+
+    def __init__(self, service: Any, host: str = "127.0.0.1", port: int = 0) -> None:
+        self.service = service
+        self._host = host
+        self._port = port
+        self._server: asyncio.AbstractServer | None = None
+        #: (method path, status) -> count; appended to /metrics.
+        self.request_counts: Counter[tuple[str, int]] = Counter()
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._server = await asyncio.start_server(
+            self._handle_client, self._host, self._port
+        )
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (resolves ephemeral port 0)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("server is not started")
+        name = self._server.sockets[0].getsockname()
+        return (name[0], name[1])
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        await self._server.serve_forever()
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request_line = await reader.readline()
+                except ValueError:  # line beyond the StreamReader limit
+                    await self._write_response(
+                        writer, 400, "text/plain", b"request line too long", False
+                    )
+                    break
+                if not request_line or request_line in (b"\r\n", b"\n"):
+                    break
+                try:
+                    method, raw_path, version = (
+                        request_line.decode("latin-1").strip().split(" ", 2)
+                    )
+                except ValueError:
+                    await self._write_response(
+                        writer, 400, "text/plain", b"malformed request line", False
+                    )
+                    break
+                headers: dict[str, str] = {}
+                malformed_headers = False
+                while True:
+                    try:
+                        line = await reader.readline()
+                    except ValueError:  # header line beyond the reader limit
+                        malformed_headers = True
+                        break
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    if len(headers) >= MAX_HEADER_LINES:
+                        malformed_headers = True
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                if malformed_headers:
+                    await self._write_response(
+                        writer, 400, "text/plain", b"too many or oversized headers", False
+                    )
+                    break
+                keep_alive = (
+                    version.upper() == "HTTP/1.1"
+                    and headers.get("connection", "").lower() != "close"
+                )
+                try:
+                    length = int(headers.get("content-length", "0") or "0")
+                except ValueError:
+                    length = -1
+                if length < 0:
+                    status, content_type, body = (
+                        400,
+                        "text/plain; charset=utf-8",
+                        b"malformed Content-Length",
+                    )
+                    keep_alive = False
+                elif length > MAX_BODY_BYTES:
+                    status, content_type, body = (
+                        413,
+                        "text/plain; charset=utf-8",
+                        b"request body too large",
+                    )
+                    keep_alive = False
+                else:
+                    body_bytes = await reader.readexactly(length) if length else b""
+                    status, content_type, body = await self._dispatch(
+                        method, raw_path, body_bytes
+                    )
+                self.request_counts[(f"{method} {raw_path.partition('?')[0]}", status)] += 1
+                await self._write_response(
+                    writer, status, content_type, body, keep_alive
+                )
+                if not keep_alive:
+                    break
+        except (
+            asyncio.IncompleteReadError,
+            ConnectionResetError,
+            BrokenPipeError,
+        ):  # client went away mid-request; nothing to answer
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        content_type: str,
+        body: bytes,
+        keep_alive: bool,
+    ) -> None:
+        reason = _STATUS_TEXT.get(status, "Unknown")
+        headers = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {content_type}",
+            f"Content-Length: {len(body)}",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        if status == 503:
+            headers.append("Retry-After: 1")
+        writer.write(("\r\n".join(headers) + "\r\n\r\n").encode("latin-1") + body)
+        await writer.drain()
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    async def _dispatch(
+        self, method: str, raw_path: str, body: bytes
+    ) -> tuple[int, str, bytes]:
+        path = raw_path.partition("?")[0]
+        try:
+            if path == "/scenario":
+                if method != "POST":
+                    raise _HTTPError(405, "use POST /scenario")
+                return await self._post_scenario(body)
+            if path == "/registry":
+                if method != "GET":
+                    raise _HTTPError(405, "use GET /registry")
+                return self._get_registry()
+            if path == "/metrics":
+                if method != "GET":
+                    raise _HTTPError(405, "use GET /metrics")
+                return await self._get_metrics()
+            raise _HTTPError(404, f"unknown path {path!r}")
+        except _HTTPError as error:
+            return self._json_error(error.status, error.message)
+        except QueueFull as error:
+            return self._json_error(503, str(error))
+        except (ScenarioTimeout, asyncio.TimeoutError) as error:
+            return self._json_error(504, str(error) or "request deadline expired")
+        except Exception as error:  # a poisoned scenario fails only its caller
+            return self._json_error(500, f"{type(error).__name__}: {error}")
+
+    def _json_error(self, status: int, message: str) -> tuple[int, str, bytes]:
+        payload = json.dumps({"error": message, "status": status}).encode()
+        return status, "application/json", payload
+
+    def _get_registry(self) -> tuple[int, str, bytes]:
+        payload = json.dumps({"scenarios": self.service.registry.describe()})
+        return 200, "application/json", payload.encode()
+
+    async def _get_metrics(self) -> tuple[int, str, bytes]:
+        text = self.service.metrics_text()
+        if inspect.isawaitable(text):  # the sharded front aggregates async
+            text = await text
+        lines = ["# TYPE repro_http_requests_total counter"]
+        for (route, status), count in sorted(self.request_counts.items()):
+            lines.append(
+                f'repro_http_requests_total{{route="{route}",status="{status}"}} {count}'
+            )
+        body = text + "\n".join(lines) + "\n"
+        return 200, "text/plain; version=0.0.4; charset=utf-8", body.encode()
+
+    async def _post_scenario(self, body: bytes) -> tuple[int, str, bytes]:
+        try:
+            payload = json.loads(body.decode("utf-8") or "{}")
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            raise _HTTPError(400, f"body is not valid JSON: {error}") from None
+        if not isinstance(payload, dict) or not isinstance(payload.get("name"), str):
+            raise _HTTPError(400, 'body must be a JSON object with a "name" string')
+        points = payload.get("points")
+        if points is not None and (not isinstance(points, int) or points < 2):
+            raise _HTTPError(400, '"points" must be an integer >= 2')
+        timeout = payload.get("timeout")
+        if timeout is not None and (
+            not isinstance(timeout, (int, float)) or timeout <= 0
+        ):
+            raise _HTTPError(400, '"timeout" must be a positive number')
+        # Resolve the name here so only a genuinely unknown scenario maps to
+        # 404 — a KeyError escaping execution must stay a 500.
+        try:
+            self.service.registry.get(payload["name"])
+        except KeyError as error:
+            raise _HTTPError(
+                404, str(error.args[0]) if error.args else "unknown scenario"
+            ) from None
+        pairs = await self.service.submit_scenario(
+            payload["name"], points=points, timeout=timeout
+        )
+        curves = [
+            {
+                "tag": _jsonable(request.tag),
+                "times": _json_floats(result.times),
+                "values": _json_floats(result.squeezed),
+                "lumped_states": result.lumped_states,
+            }
+            for request, result in pairs
+        ]
+        response = json.dumps(
+            {"scenario": payload["name"], "count": len(curves), "curves": curves}
+        )
+        return 200, "application/json", response.encode()

@@ -98,6 +98,20 @@ class ScenarioSpec:
             )
 
     # ------------------------------------------------------------------
+    def describe(self) -> dict:
+        """A JSON-serialisable summary of the spec (served by ``GET /registry``)."""
+        return {
+            "name": self.name,
+            "measure": self.measure,
+            "lines": list(self.lines),
+            "strategies": [configuration.label for configuration in self.strategies],
+            "disasters": list(self.disasters),
+            "interval_indices": list(self.interval_indices),
+            "horizon": self.horizon,
+            "points": self.points,
+            "description": self.description,
+        }
+
     def times(self, points: int | None = None) -> np.ndarray:
         return np.linspace(0.0, self.horizon, points if points else self.points)
 
@@ -197,6 +211,10 @@ class ScenarioRegistry:
     def with_points(self, name: str, points: int) -> ScenarioSpec:
         """A copy of the named spec on a coarser/finer grid."""
         return replace(self.get(name), points=points)
+
+    def describe(self) -> list[dict]:
+        """JSON-serialisable summaries of every registered spec."""
+        return [spec.describe() for spec in self._specs.values()]
 
     @property
     def names(self) -> tuple[str, ...]:

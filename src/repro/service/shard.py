@@ -1,0 +1,699 @@
+"""Sharded multi-process scenario execution with per-shard chain ownership.
+
+One :class:`repro.service.ScenarioService` coalesces heavy measure traffic
+inside a single process; :class:`ShardedScenarioService` scales that out
+across N *worker processes* (``multiprocessing`` spawn), each running its
+own service instance with its own :class:`repro.service.ArtifactCache` and
+worker pool.  The design is shared-nothing:
+
+* **Fingerprint routing / chain ownership** — every submission is routed by
+  the content fingerprint of its chain (:func:`shard_for_fingerprint`), so
+  one shard *owns* each chain: its LU factorizations, BSCC decompositions,
+  lumping quotients and uniformized operators stay warm in that shard's
+  cache and are never duplicated across workers.  Requests for the same
+  chain also land in the same worker's coalescing window, so cross-client
+  sweep sharing keeps working under shard-out.
+* **Shared-nothing artifact-summary protocol** — workers never share cache
+  memory; instead each answers a ``stats`` message with a picklable
+  snapshot of its :class:`~repro.service.ServiceStats`,
+  :class:`~repro.service.CacheStats` and owned chain fingerprints, which
+  the front aggregates for ``/metrics`` (and which the benchmarks gate on).
+* **Backpressure and deadlines** — ``submit()`` raises
+  :class:`~repro.service.QueueFull` once ``max_pending`` requests are in
+  flight, and a per-request ``timeout`` abandons only that caller's future
+  (the shard keeps computing; a late response is discarded).
+* **Failure isolation** — a crashed or killed worker fails exactly its own
+  in-flight futures with :class:`ShardCrashed`; the remaining shards keep
+  serving, and submissions routed to the dead shard fail fast.
+
+The wire protocol is deliberately tiny (tuples over two ``multiprocessing``
+queues per shard, variable parts pre-pickled so serialization errors fail
+the offending request instead of wedging a queue feeder thread):
+
+========================================  ==================================
+parent → worker                           worker → parent
+========================================  ==================================
+``("request", id, request_bytes)``        ``("result", id, payload_bytes)``
+``("stats", id)``                         ``("error", id, exc_bytes, text)``
+``("shutdown",)``                         ``("stats", id, snapshot_bytes)``
+========================================  ==================================
+
+Results travel as plain arrays (times, values, group index, lump size) and
+are re-attached to the caller's original request object, so the parent
+never unpickles a chain it already holds.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import pickle
+import threading
+import queue as queue_module
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Any
+
+import multiprocessing
+
+from repro.analysis import MeasureRequest, MeasureResult
+from repro.ctmc.uniformization import DEFAULT_EPSILON
+from repro.service.cache import DEFAULT_MAX_ENTRIES, ArtifactCache, CacheStats
+from repro.service.dispatcher import (
+    DEFAULT_COALESCE_WINDOW,
+    DEFAULT_MAX_BATCH,
+    QueueFull,
+    ScenarioService,
+    ServiceClosed,
+    ServiceStats,
+    await_with_deadline,
+)
+from repro.service.registry import ScenarioRegistry, paper_registry
+
+#: Default number of worker processes.
+DEFAULT_NUM_SHARDS = 2
+
+#: Seconds a closing front waits for a worker to drain before terminating it.
+_SHUTDOWN_GRACE = 10.0
+
+
+class ShardCrashed(RuntimeError):
+    """Raised for futures whose owning worker process died mid-flight.
+
+    Also raised fast by ``submit()`` for chains routed to a shard that is
+    already known to be down — the remaining shards keep serving.
+    """
+
+
+def shard_for_fingerprint(fingerprint: str, num_shards: int) -> int:
+    """The shard owning a chain, from the chain's content fingerprint.
+
+    Stable across processes and runs (the fingerprint is a hex SHA-256 of
+    the rate matrix), so a portfolio always partitions the same way and a
+    warm shard keeps its chains over service restarts.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be at least 1")
+    return int(fingerprint[:16], 16) % num_shards
+
+
+# ----------------------------------------------------------------------
+# worker side
+# ----------------------------------------------------------------------
+def _pickle_error(error: BaseException) -> bytes | None:
+    """Best-effort pickle of an exception (None when it cannot travel)."""
+    try:
+        payload = pickle.dumps(error)
+        pickle.loads(payload)  # some exceptions pickle but fail to rebuild
+        return payload
+    except Exception:
+        return None
+
+
+async def _shard_worker(
+    shard_index: int,
+    requests: Any,
+    responses: Any,
+    config: dict,
+) -> None:
+    """The asyncio body of one worker: an in-process service fed by a queue."""
+    service = ScenarioService(
+        coalesce_window=config["coalesce_window"],
+        max_batch=config["max_batch"],
+        lump=config["lump"],
+        batched=config["batched"],
+        epsilon=config["epsilon"],
+        artifacts=ArtifactCache(config["max_entries"]),
+        max_workers=config["max_workers"],
+    )
+    loop = asyncio.get_running_loop()
+    tasks: set[asyncio.Task] = set()
+
+    async def run_request(request_id: int, payload: bytes) -> None:
+        try:
+            request = pickle.loads(payload)
+            result = await service.submit(request)
+            body = pickle.dumps(
+                {
+                    "times": result.times,
+                    "values": result.values,
+                    "group_index": result.group_index,
+                    "lumped_states": result.lumped_states,
+                    "squeeze": result._squeeze,
+                }
+            )
+        except Exception as error:
+            responses.put(
+                (
+                    "error",
+                    request_id,
+                    _pickle_error(error),
+                    f"{type(error).__name__}: {error}",
+                )
+            )
+        else:
+            responses.put(("result", request_id, body))
+
+    async with service:
+        while True:
+            message = await loop.run_in_executor(None, requests.get)
+            kind = message[0]
+            if kind == "shutdown":
+                break
+            if kind == "stats":
+                snapshot = pickle.dumps(
+                    (
+                        service.stats,
+                        service.cache_stats(),
+                        service.artifacts.chain_fingerprints(),
+                    )
+                )
+                responses.put(("stats", message[1], snapshot))
+                continue
+            task = loop.create_task(run_request(message[1], message[2]))
+            tasks.add(task)
+            task.add_done_callback(tasks.discard)
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+
+
+def _shard_worker_main(
+    shard_index: int, requests: Any, responses: Any, config: dict
+) -> None:
+    """Spawn entry point of one shard worker process."""
+    try:
+        asyncio.run(_shard_worker(shard_index, requests, responses, config))
+    except KeyboardInterrupt:  # pragma: no cover - interactive shutdown
+        pass
+
+
+# ----------------------------------------------------------------------
+# parent side
+# ----------------------------------------------------------------------
+@dataclass
+class ShardSnapshot:
+    """One shard's shared-nothing stats summary (the ``stats`` reply)."""
+
+    index: int
+    alive: bool
+    service: ServiceStats | None = None
+    cache: CacheStats | None = None
+    fingerprints: frozenset[str] = frozenset()
+
+
+@dataclass
+class ShardedServiceStats:
+    """Front-end counters of the sharded service (routing layer only).
+
+    Per-shard execution counters live in the workers and are fetched on
+    demand through :meth:`ShardedScenarioService.shard_snapshots`.
+    """
+
+    submissions: int = 0
+    completed: int = 0
+    failed: int = 0
+    rejected: int = 0
+    timeouts: int = 0
+    routed: dict[int, int] = field(default_factory=dict)
+
+    def summary(self) -> str:
+        """One line for CLI output and logs."""
+        per_shard = " ".join(
+            f"shard{index}={count}" for index, count in sorted(self.routed.items())
+        )
+        return (
+            f"sharded: submissions={self.submissions} completed={self.completed} "
+            f"failed={self.failed} rejected={self.rejected} "
+            f"timeouts={self.timeouts} routed: {per_shard or '(none)'}"
+        )
+
+
+@dataclass
+class _Shard:
+    """Parent-side handle of one worker process."""
+
+    index: int
+    process: Any
+    requests: Any
+    responses: Any
+    inflight: dict[int, tuple[asyncio.Future, MeasureRequest | None]] = field(
+        default_factory=dict
+    )
+    alive: bool = True
+    closing: bool = False
+
+
+class ShardedScenarioService:
+    """Scenario portfolios partitioned across N worker processes.
+
+    Parameters
+    ----------
+    num_shards:
+        Worker-process count; each runs one :class:`ScenarioService` with a
+        private :class:`ArtifactCache`.
+    coalesce_window, max_batch, lump, batched, epsilon, max_workers:
+        Forwarded to every worker's in-process service.
+    max_pending:
+        Bound on in-flight submissions across the whole front; beyond it
+        ``submit()`` raises :class:`~repro.service.QueueFull`.
+    default_timeout:
+        Per-request deadline applied when ``submit()`` gets none.
+    max_entries:
+        Per-shard artifact-cache bound.
+    registry:
+        Scenario registry backing :meth:`submit_scenario` (expanded in the
+        parent, then routed per request); defaults to the paper's families.
+    start_method:
+        ``multiprocessing`` start method; ``spawn`` (the default) keeps
+        workers free of inherited interpreter state.
+
+    Use as an async context manager::
+
+        async with ShardedScenarioService(num_shards=2, lump=True) as service:
+            pairs = await service.submit_scenario("fig4_5")
+    """
+
+    def __init__(
+        self,
+        num_shards: int = DEFAULT_NUM_SHARDS,
+        *,
+        coalesce_window: float = DEFAULT_COALESCE_WINDOW,
+        max_batch: int = DEFAULT_MAX_BATCH,
+        max_pending: int | None = None,
+        default_timeout: float | None = None,
+        lump: bool = False,
+        batched: bool = True,
+        epsilon: float = DEFAULT_EPSILON,
+        max_workers: int | None = None,
+        max_entries: int = DEFAULT_MAX_ENTRIES,
+        registry: ScenarioRegistry | None = None,
+        start_method: str = "spawn",
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        if max_pending is not None and max_pending < 1:
+            raise ValueError("max_pending must be at least 1 (or None)")
+        if default_timeout is not None and default_timeout <= 0:
+            raise ValueError("default_timeout must be positive (or None)")
+        self.num_shards = int(num_shards)
+        self.max_pending = None if max_pending is None else int(max_pending)
+        self.default_timeout = (
+            None if default_timeout is None else float(default_timeout)
+        )
+        self.registry = registry if registry is not None else paper_registry()
+        self.stats = ShardedServiceStats(
+            routed={index: 0 for index in range(self.num_shards)}
+        )
+        self._worker_config = {
+            "coalesce_window": float(coalesce_window),
+            "max_batch": int(max_batch),
+            "lump": bool(lump),
+            "batched": bool(batched),
+            "epsilon": float(epsilon),
+            "max_entries": int(max_entries),
+            "max_workers": max_workers,
+        }
+        self._start_method = start_method
+        self._shards: list[_Shard] = []
+        self._ids = itertools.count()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._expander = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-shard-expand"
+        )
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def __aenter__(self) -> "ShardedScenarioService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def start(self) -> None:
+        """Spawn the worker processes and their reader/watcher threads."""
+        if self._closed:
+            raise ServiceClosed("the sharded scenario service has been closed")
+        if self._started:
+            return
+        self._started = True
+        self._loop = asyncio.get_running_loop()
+        context = multiprocessing.get_context(self._start_method)
+        for index in range(self.num_shards):
+            requests = context.Queue()
+            responses = context.Queue()
+            process = context.Process(
+                target=_shard_worker_main,
+                args=(index, requests, responses, self._worker_config),
+                daemon=True,
+                name=f"repro-shard-{index}",
+            )
+            process.start()
+            shard = _Shard(
+                index=index, process=process, requests=requests, responses=responses
+            )
+            self._shards.append(shard)
+            threading.Thread(
+                target=self._read_responses,
+                args=(shard,),
+                daemon=True,
+                name=f"repro-shard-{index}-reader",
+            ).start()
+            threading.Thread(
+                target=self._watch_process,
+                args=(shard,),
+                daemon=True,
+                name=f"repro-shard-{index}-watcher",
+            ).start()
+
+    async def close(self) -> None:
+        """Shut every worker down (draining in-flight work, with a grace cap)."""
+        if self._closed or not self._started:
+            self._closed = True
+            return
+        self._closed = True
+        for shard in self._shards:
+            shard.closing = True
+            if shard.alive:
+                try:
+                    shard.requests.put(("shutdown",))
+                except Exception:  # pragma: no cover - queue already broken
+                    pass
+        assert self._loop is not None
+        await self._loop.run_in_executor(None, self._join_workers)
+        for shard in self._shards:
+            shard.alive = False
+            self._fail_inflight(
+                shard, ServiceClosed("service closed while the request was in flight")
+            )
+        self._expander.shutdown(wait=False)
+
+    def _join_workers(self) -> None:
+        deadline = _SHUTDOWN_GRACE
+        for shard in self._shards:
+            shard.process.join(timeout=deadline)
+            if shard.process.is_alive():  # pragma: no cover - stuck worker
+                shard.process.terminate()
+                shard.process.join(timeout=1.0)
+            # Unblock the queue feeder threads so interpreter exit is clean.
+            for channel in (shard.requests, shard.responses):
+                try:
+                    channel.close()
+                    channel.cancel_join_thread()
+                except Exception:  # pragma: no cover
+                    pass
+
+    # ------------------------------------------------------------------
+    # background threads
+    # ------------------------------------------------------------------
+    def _read_responses(self, shard: _Shard) -> None:
+        """Drain one shard's response queue onto the event loop.
+
+        Payloads are unpickled *here*, on the reader thread, so large value
+        arrays and stats snapshots never serialize on the event loop (which
+        also serves HTTP traffic).
+        """
+        while True:
+            try:
+                message = shard.responses.get(timeout=0.25)
+            except queue_module.Empty:
+                if shard.closing or not shard.process.is_alive():
+                    return
+                continue
+            except (EOFError, OSError):  # pragma: no cover - queue torn down
+                return
+            message = self._decode_response(shard, message)
+            self._call_on_loop(partial(self._handle_response, shard, message))
+
+    @staticmethod
+    def _decode_response(shard: _Shard, message: tuple) -> tuple:
+        """Unpickle a response's variable part (reader-thread side)."""
+        kind, request_id = message[0], message[1]
+        try:
+            if kind in ("result", "stats"):
+                return (kind, request_id, pickle.loads(message[2]))
+            # kind == "error": the exception itself may be unpicklable.
+            error_bytes, text = message[2], message[3]
+            error = pickle.loads(error_bytes) if error_bytes is not None else None
+            return (kind, request_id, error, text)
+        except Exception as decode_error:  # pragma: no cover - defensive
+            return (
+                "error",
+                request_id,
+                None,
+                f"undecodable shard {shard.index} response: {decode_error}",
+            )
+
+    def _watch_process(self, shard: _Shard) -> None:
+        """Fail a dead shard's in-flight futures the moment it exits."""
+        shard.process.join()
+        self._call_on_loop(partial(self._on_shard_exit, shard))
+
+    def _call_on_loop(self, callback) -> None:
+        loop = self._loop
+        if loop is None:
+            return
+        try:
+            loop.call_soon_threadsafe(callback)
+        except RuntimeError:  # pragma: no cover - loop already closed
+            pass
+
+    def _on_shard_exit(self, shard: _Shard) -> None:
+        shard.alive = False
+        if shard.closing or self._closed:
+            return
+        self._fail_inflight(
+            shard,
+            ShardCrashed(
+                f"shard {shard.index} worker exited with code "
+                f"{shard.process.exitcode} while requests were in flight"
+            ),
+        )
+
+    def _fail_inflight(self, shard: _Shard, error: BaseException) -> None:
+        for future, request in list(shard.inflight.values()):
+            if not future.done():
+                if request is not None:
+                    self.stats.failed += 1
+                future.set_exception(error)
+        shard.inflight.clear()
+
+    def _handle_response(self, shard: _Shard, message: tuple) -> None:
+        kind, request_id = message[0], message[1]
+        entry = shard.inflight.pop(request_id, None)
+        if entry is None:  # deadline expired or shard already failed over
+            return
+        future, request = entry
+        if future.done():
+            return
+        if kind == "result":
+            payload = message[2]
+            self.stats.completed += 1
+            future.set_result(
+                MeasureResult(
+                    request=request,
+                    times=payload["times"],
+                    values=payload["values"],
+                    group_index=payload["group_index"],
+                    lumped_states=payload["lumped_states"],
+                    _squeeze=payload["squeeze"],
+                )
+            )
+        elif kind == "error":
+            error, text = message[2], message[3]
+            if error is None:
+                error = RuntimeError(f"shard {shard.index} request failed: {text}")
+            self.stats.failed += 1
+            future.set_exception(error)
+        else:  # stats snapshot
+            future.set_result(message[2])
+
+    # ------------------------------------------------------------------
+    # submission API (mirrors ScenarioService)
+    # ------------------------------------------------------------------
+    def _ensure_ready(self) -> None:
+        if self._closed:
+            raise ServiceClosed("the sharded scenario service has been closed")
+        if not self._started:
+            raise RuntimeError(
+                "ShardedScenarioService must be started first "
+                "(use 'async with' or await start())"
+            )
+
+    def _inflight_count(self) -> int:
+        return sum(
+            1
+            for shard in self._shards
+            for _, request in shard.inflight.values()
+            if request is not None
+        )
+
+    def shard_index_for(self, request: MeasureRequest) -> int:
+        """The shard that owns this request's chain."""
+        return shard_for_fingerprint(request.chain.fingerprint, self.num_shards)
+
+    async def submit(
+        self, request: MeasureRequest, timeout: float | None = None
+    ) -> MeasureResult:
+        """Route one request to its owning shard and await the result.
+
+        Semantics match :meth:`ScenarioService.submit`: values are
+        bit-comparable to a single-process service (same numerical path,
+        executed in the worker), :class:`QueueFull` applies backpressure at
+        ``max_pending`` in-flight submissions, and a ``timeout`` abandons
+        only this caller's future.
+        """
+        self._ensure_ready()
+        if (
+            self.max_pending is not None
+            and self._inflight_count() >= self.max_pending
+        ):
+            self.stats.rejected += 1
+            raise QueueFull(
+                f"sharded service has {self._inflight_count()} requests in flight "
+                f"(max_pending={self.max_pending}); back off and resubmit"
+            )
+        shard = self._shards[self.shard_index_for(request)]
+        if not shard.alive:
+            raise ShardCrashed(
+                f"shard {shard.index} is down; request for chain "
+                f"{request.chain.fingerprint[:12]}... cannot be served"
+            )
+        assert self._loop is not None
+        # Serializing a chain's sparse matrices is O(transitions); keep it
+        # off the event loop, which also serves HTTP traffic.
+        payload = await self._loop.run_in_executor(None, pickle.dumps, request)
+        if not shard.alive:  # the worker may have died while we serialized
+            raise ShardCrashed(f"shard {shard.index} is down")
+        request_id = next(self._ids)
+        future: asyncio.Future = self._loop.create_future()
+        shard.inflight[request_id] = (future, request)
+        self.stats.submissions += 1
+        self.stats.routed[shard.index] = self.stats.routed.get(shard.index, 0) + 1
+        shard.requests.put(("request", request_id, payload))
+        timeout = self.default_timeout if timeout is None else timeout
+        try:
+            return await await_with_deadline(future, timeout, self.stats)
+        finally:
+            shard.inflight.pop(request_id, None)
+
+    async def submit_many(
+        self, requests: list[MeasureRequest], timeout: float | None = None
+    ) -> list[MeasureResult]:
+        """Submit several requests (each routed independently) and await all.
+
+        Like :meth:`ScenarioService.submit_many`: the first failure is
+        raised only after every sibling future has settled.
+        """
+        settled = await asyncio.gather(
+            *(self.submit(request, timeout=timeout) for request in requests),
+            return_exceptions=True,
+        )
+        for outcome in settled:
+            if isinstance(outcome, BaseException):
+                raise outcome
+        return list(settled)
+
+    async def submit_scenario(
+        self, name: str, points: int | None = None, timeout: float | None = None
+    ) -> list[tuple[MeasureRequest, MeasureResult]]:
+        """Expand a registered scenario and fan its family out over the shards.
+
+        Expansion (state-space construction) runs on a parent-side worker
+        thread; the resulting requests are then routed per chain, so every
+        curve of the family lands on the shard owning its chain.
+        """
+        self._ensure_ready()
+        assert self._loop is not None
+        requests = await self._loop.run_in_executor(
+            self._expander, partial(self.registry.expand, name, points=points)
+        )
+        results = await self.submit_many(requests, timeout=timeout)
+        return list(zip(requests, results))
+
+    # ------------------------------------------------------------------
+    # shared-nothing stats aggregation
+    # ------------------------------------------------------------------
+    async def shard_snapshots(self, timeout: float = 30.0) -> list[ShardSnapshot]:
+        """One :class:`ShardSnapshot` per shard (dead shards marked, not raised)."""
+        self._ensure_ready()
+        assert self._loop is not None
+
+        async def snapshot(shard: _Shard) -> ShardSnapshot:
+            if not shard.alive:
+                return ShardSnapshot(index=shard.index, alive=False)
+            request_id = next(self._ids)
+            future: asyncio.Future = self._loop.create_future()
+            shard.inflight[request_id] = (future, None)
+            try:
+                shard.requests.put(("stats", request_id))
+                service, cache, fingerprints = await asyncio.wait_for(
+                    future, timeout
+                )
+            except (asyncio.TimeoutError, ShardCrashed, ServiceClosed):
+                return ShardSnapshot(index=shard.index, alive=shard.alive)
+            finally:
+                shard.inflight.pop(request_id, None)
+            return ShardSnapshot(
+                index=shard.index,
+                alive=True,
+                service=service,
+                cache=cache,
+                fingerprints=frozenset(fingerprints),
+            )
+
+        return list(await asyncio.gather(*(snapshot(s) for s in self._shards)))
+
+    async def metrics_text(self) -> str:
+        """Aggregated Prometheus text dump across every shard plus the front.
+
+        Shard counters are summed into the same ``repro_service_*`` /
+        ``repro_cache_*`` series a single-process service exposes (so
+        dashboards work unchanged), followed by front-end routing series
+        with per-shard labels.
+        """
+        snapshots = await self.shard_snapshots()
+        combined_service = ServiceStats()
+        combined_cache = CacheStats()
+        for snapshot in snapshots:
+            if snapshot.service is not None:
+                combined_service.absorb(snapshot.service)
+            if snapshot.cache is not None:
+                combined_cache.absorb(snapshot.cache)
+        lines = [combined_service.metrics(), combined_cache.metrics()]
+        front = {
+            "submissions_total": self.stats.submissions,
+            "completed_total": self.stats.completed,
+            "failed_total": self.stats.failed,
+            "rejected_total": self.stats.rejected,
+            "timeouts_total": self.stats.timeouts,
+        }
+        front_lines = []
+        for name, value in front.items():
+            metric = f"repro_front_{name}"
+            front_lines.append(f"# TYPE {metric} counter")
+            front_lines.append(f"{metric} {value}")
+        front_lines.append("# TYPE repro_shard_alive gauge")
+        for snapshot in snapshots:
+            front_lines.append(
+                f'repro_shard_alive{{shard="{snapshot.index}"}} '
+                f"{1 if snapshot.alive else 0}"
+            )
+        front_lines.append("# TYPE repro_shard_routed_total counter")
+        for index in sorted(self.stats.routed):
+            front_lines.append(
+                f'repro_shard_routed_total{{shard="{index}"}} '
+                f"{self.stats.routed[index]}"
+            )
+        front_lines.append("# TYPE repro_shard_owned_chains gauge")
+        for snapshot in snapshots:
+            front_lines.append(
+                f'repro_shard_owned_chains{{shard="{snapshot.index}"}} '
+                f"{len(snapshot.fingerprints)}"
+            )
+        lines.append("\n".join(front_lines))
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,291 @@
+"""Tests for the asyncio HTTP front end (`repro.service.http`).
+
+The acceptance round-trip runs over a real 2-shard service: ``POST
+/scenario`` returns the family's JSON values (checked against a direct
+in-process computation) and ``GET /metrics`` aggregates both shards'
+counters.  Error mapping (400/404/405/503/504/500) is exercised against a
+stub service so the status-code contract is tested without spawning
+processes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis import AnalysisSession
+from repro.service import (
+    ArtifactCache,
+    QueueFull,
+    ScenarioHTTPServer,
+    ScenarioService,
+    ScenarioTimeout,
+    ShardedScenarioService,
+    paper_registry,
+)
+
+POINTS = 7
+
+
+async def http_request(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    body: bytes | None = None,
+    keep_open: bool = False,
+    reader_writer=None,
+) -> tuple[int, dict[str, str], bytes, tuple]:
+    """A tiny raw-socket HTTP/1.1 client (no third-party dependencies)."""
+    if reader_writer is None:
+        reader, writer = await asyncio.open_connection(host, port)
+    else:
+        reader, writer = reader_writer
+    connection = "keep-alive" if keep_open else "close"
+    head = f"{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: {connection}\r\n"
+    if body is not None:
+        head += f"Content-Length: {len(body)}\r\nContent-Type: application/json\r\n"
+    writer.write(head.encode() + b"\r\n" + (body or b""))
+    await writer.drain()
+
+    status_line = await reader.readline()
+    status = int(status_line.split(b" ")[1])
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _, value = line.decode().partition(":")
+        headers[name.strip().lower()] = value.strip()
+    payload = await reader.readexactly(int(headers.get("content-length", "0")))
+    if not keep_open:
+        writer.close()
+        await writer.wait_closed()
+    return status, headers, payload, (reader, writer)
+
+
+def run_server_test(service_factory, client):
+    """Start a service + server, run the async ``client(host, port)`` body."""
+
+    async def main():
+        async with service_factory() as service:
+            server = ScenarioHTTPServer(service)
+            await server.start()
+            host, port = server.address
+            try:
+                return await client(host, port, server)
+            finally:
+                await server.close()
+
+    return asyncio.run(main())
+
+
+# ---------------------------------------------------------------------------
+# acceptance: POST /scenario + GET /metrics over two real shards
+# ---------------------------------------------------------------------------
+class TestShardedRoundTrip:
+    def test_scenario_values_and_metrics_aggregate_both_shards(self):
+        family = paper_registry().expand("fig4_5", points=POINTS)
+        session = AnalysisSession()
+        indices = [session.add(request) for request in family]
+        session_results = session.execute()
+        reference = {
+            tuple(request.tag): session_results[index].squeezed
+            for request, index in zip(family, indices)
+        }
+
+        async def client(host, port, server):
+            body = json.dumps({"name": "fig4_5", "points": POINTS}).encode()
+            status, _, payload, _ = await http_request(
+                host, port, "POST", "/scenario", body
+            )
+            assert status == 200
+            document = json.loads(payload)
+            status, headers, metrics, _ = await http_request(
+                host, port, "GET", "/metrics"
+            )
+            assert status == 200
+            assert headers["content-type"].startswith("text/plain")
+            return document, metrics.decode()
+
+        document, metrics = run_server_test(
+            lambda: ShardedScenarioService(2, coalesce_window=0.02), client
+        )
+
+        assert document["scenario"] == "fig4_5"
+        assert document["count"] == len(family)
+        for curve in document["curves"]:
+            expected = reference[tuple(curve["tag"])]
+            np.testing.assert_allclose(curve["values"], expected, atol=1e-12)
+            assert len(curve["times"]) == POINTS
+
+        lines = metrics.splitlines()
+        assert f"repro_service_requests_total {len(family)}" in lines
+        assert f"repro_front_completed_total {len(family)}" in lines
+        for shard in (0, 1):
+            assert f'repro_shard_alive{{shard="{shard}"}} 1' in lines
+        # The family spans one chain family; routed totals must cover it all.
+        routed = sum(
+            int(line.rpartition(" ")[2])
+            for line in lines
+            if line.startswith("repro_shard_routed_total{")
+        )
+        assert routed == len(family)
+        assert any(
+            line.startswith('repro_http_requests_total{route="POST /scenario"')
+            for line in lines
+        )
+
+
+# ---------------------------------------------------------------------------
+# protocol behaviour against the in-process service (no worker spawn)
+# ---------------------------------------------------------------------------
+class TestProtocol:
+    def _factory(self):
+        return ScenarioService(artifacts=ArtifactCache(), coalesce_window=0.0)
+
+    def test_registry_unknown_paths_and_methods(self):
+        async def client(host, port, server):
+            status, _, payload, _ = await http_request(host, port, "GET", "/registry")
+            assert status == 200
+            names = [spec["name"] for spec in json.loads(payload)["scenarios"]]
+            assert "fig4_5" in names and "table2" in names
+
+            status, _, payload, _ = await http_request(host, port, "GET", "/nope")
+            assert status == 404
+            status, _, payload, _ = await http_request(host, port, "GET", "/scenario")
+            assert status == 405
+            status, _, payload, _ = await http_request(
+                host, port, "POST", "/scenario", b"not json"
+            )
+            assert status == 400
+            status, _, payload, _ = await http_request(
+                host, port, "POST", "/scenario", json.dumps({"name": 5}).encode()
+            )
+            assert status == 400
+            status, _, payload, _ = await http_request(
+                host,
+                port,
+                "POST",
+                "/scenario",
+                json.dumps({"name": "fig4_5", "points": 1}).encode(),
+            )
+            assert status == 400
+            status, _, payload, _ = await http_request(
+                host, port, "POST", "/scenario", json.dumps({"name": "ghost"}).encode()
+            )
+            assert status == 404
+            assert "unknown scenario" in json.loads(payload)["error"]
+
+        run_server_test(self._factory, client)
+
+    def test_keep_alive_serves_sequential_requests_on_one_connection(self):
+        async def client(host, port, server):
+            status, _, _, pair = await http_request(
+                host, port, "GET", "/registry", keep_open=True
+            )
+            assert status == 200
+            status, _, payload, pair = await http_request(
+                host, port, "GET", "/registry", keep_open=True, reader_writer=pair
+            )
+            assert status == 200
+            assert json.loads(payload)["scenarios"]
+            reader, writer = pair
+            writer.close()
+            await writer.wait_closed()
+
+        run_server_test(self._factory, client)
+
+
+class TestErrorMapping:
+    """Status-code contract, driven through stub services."""
+
+    class _StubService:
+        def __init__(self, error: Exception | None = None):
+            self.error = error
+            self.registry = paper_registry()
+
+        async def submit_scenario(self, name, points=None, timeout=None):
+            raise self.error
+
+        def metrics_text(self):
+            return "# stub\n"
+
+    def _run(self, error: Exception) -> tuple[int, dict, dict[str, str]]:
+        async def main():
+            server = ScenarioHTTPServer(self._StubService(error))
+            await server.start()
+            host, port = server.address
+            try:
+                status, headers, payload, _ = await http_request(
+                    host,
+                    port,
+                    "POST",
+                    "/scenario",
+                    json.dumps({"name": "fig4_5"}).encode(),
+                )
+                return status, json.loads(payload), headers
+            finally:
+                await server.close()
+
+        return asyncio.run(main())
+
+    def test_queue_full_maps_to_503_with_retry_after(self):
+        status, document, headers = self._run(QueueFull("portfolio queue at cap"))
+        assert status == 503
+        assert "portfolio queue at cap" in document["error"]
+        assert headers.get("retry-after") == "1"
+
+    def test_timeout_maps_to_504(self):
+        status, document, _ = self._run(ScenarioTimeout("deadline expired"))
+        assert status == 504
+        assert "deadline expired" in document["error"]
+
+    def test_unexpected_failure_maps_to_500(self):
+        status, document, _ = self._run(RuntimeError("boom"))
+        assert status == 500
+        assert "boom" in document["error"]
+
+
+class TestBackpressureOverHTTP:
+    def test_saturated_service_returns_503_then_recovers(self):
+        """End-to-end: a real service at max_pending=1 rejects over HTTP."""
+
+        async def main():
+            service = ScenarioService(
+                artifacts=ArtifactCache(),
+                coalesce_window=0.5,  # hold the first batch open
+                max_pending=1,
+                registry=paper_registry(),
+            )
+            async with service:
+                server = ScenarioHTTPServer(service)
+                await server.start()
+                host, port = server.address
+                try:
+                    body = json.dumps({"name": "fig4_5", "points": POINTS}).encode()
+                    first = asyncio.ensure_future(
+                        http_request(host, port, "POST", "/scenario", body)
+                    )
+                    await asyncio.sleep(0.1)  # the family saturates the queue
+                    status, _, payload, _ = await http_request(
+                        host, port, "POST", "/scenario", body
+                    )
+                    assert status == 503
+                    assert "max_pending" in json.loads(payload)["error"]
+                    status, _, _, _ = await first
+                    # The first client's request itself overflowed the
+                    # one-slot queue mid-family: it reports 503 too, and the
+                    # service survives both rejections.
+                    assert status == 503
+                    status, _, _, _ = await http_request(
+                        host, port, "GET", "/metrics"
+                    )
+                    assert status == 200
+                finally:
+                    await server.close()
+
+        asyncio.run(main())

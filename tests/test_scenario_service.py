@@ -22,7 +22,9 @@ from repro.ctmc.ctmc import CTMCError
 from repro.ctmc.foxglynn import fox_glynn
 from repro.service import (
     ArtifactCache,
+    QueueFull,
     ScenarioService,
+    ScenarioTimeout,
     ServiceClosed,
     paper_registry,
 )
@@ -398,3 +400,130 @@ class TestChainFingerprints:
 
     def test_different_rates_different_fingerprint(self):
         assert random_chain(8, seed=9).fingerprint != random_chain(8, seed=10).fingerprint
+
+
+# ---------------------------------------------------------------------------
+# backpressure and per-request deadlines (in-process dispatcher)
+# ---------------------------------------------------------------------------
+class TestBackpressureAndDeadlines:
+    def _request(self, seed: int = 40) -> MeasureRequest:
+        return MeasureRequest(
+            chain=random_chain(6, seed=seed),
+            times=[0.5, 1.0],
+            kind=MeasureKind.REACHABILITY,
+            target="target",
+        )
+
+    def test_queue_full_at_cap_without_poisoning_other_callers(self):
+        async def run():
+            service = ScenarioService(
+                artifacts=ArtifactCache(), coalesce_window=0.5, max_pending=2
+            )
+            async with service:
+                first = asyncio.ensure_future(service.submit(self._request(41)))
+                second = asyncio.ensure_future(service.submit(self._request(42)))
+                await asyncio.sleep(0.01)  # both are queued, the window is open
+                with pytest.raises(QueueFull):
+                    await service.submit(self._request(43))
+                results = await asyncio.gather(first, second)
+                # The rejection consumed nothing: a retry succeeds once the
+                # queue drained.
+                retry = await service.submit(self._request(43))
+                return results, retry, service.stats
+
+        results, retry, stats = asyncio.run(run())
+        assert all(result.values.shape == (1, 2) for result in results)
+        assert retry.values.shape == (1, 2)
+        assert stats.rejected == 1
+        assert stats.submissions == 3  # the rejected call never enqueued
+        assert stats.completed == 3 and stats.failed == 0
+
+    def test_timeout_cancels_only_its_own_future(self):
+        async def run():
+            service = ScenarioService(
+                artifacts=ArtifactCache(), coalesce_window=0.2
+            )
+            async with service:
+                doomed = service.submit(self._request(44), timeout=0.01)
+                sibling = service.submit(self._request(45))
+                timed_out, result = await asyncio.gather(
+                    doomed, sibling, return_exceptions=True
+                )
+                return timed_out, result, service.stats
+
+        timed_out, result, stats = asyncio.run(run())
+        assert isinstance(timed_out, ScenarioTimeout)
+        assert isinstance(timed_out, TimeoutError)  # idiomatic to catch either
+        assert not isinstance(result, BaseException)
+        assert result.values.shape == (1, 2)
+        assert stats.timeouts == 1
+        # The timed-out request was dropped before planning: exactly the
+        # sibling's work was executed and completed.
+        assert stats.session.requests == 1
+        assert stats.completed == 1
+
+    def test_default_timeout_applies_and_explicit_overrides(self):
+        async def run():
+            service = ScenarioService(
+                artifacts=ArtifactCache(),
+                coalesce_window=0.15,
+                default_timeout=0.01,
+            )
+            async with service:
+                with pytest.raises(ScenarioTimeout):
+                    await service.submit(self._request(46))
+                # A generous explicit timeout overrides the tight default.
+                result = await service.submit(self._request(47), timeout=30.0)
+                return result, service.stats
+
+        result, stats = asyncio.run(run())
+        assert result.values.shape == (1, 2)
+        assert stats.timeouts == 1
+
+    def test_submit_many_applies_per_request_deadlines(self):
+        async def run():
+            service = ScenarioService(
+                artifacts=ArtifactCache(), coalesce_window=0.1
+            )
+            async with service:
+                with pytest.raises(ScenarioTimeout):
+                    await service.submit_many(
+                        [self._request(48), self._request(49)], timeout=0.01
+                    )
+                # The service is not wedged afterwards.
+                results = await service.submit_many(
+                    [self._request(48), self._request(49)]
+                )
+                return results
+
+        results = asyncio.run(run())
+        assert len(results) == 2
+
+    def test_submit_many_over_cap_cancels_the_partial_batch(self):
+        """A rejected batch must not leave orphans computing in the background."""
+
+        async def run():
+            service = ScenarioService(
+                artifacts=ArtifactCache(), coalesce_window=0.1, max_pending=2
+            )
+            async with service:
+                with pytest.raises(QueueFull):
+                    await service.submit_many(
+                        [self._request(50), self._request(51), self._request(52)]
+                    )
+                await asyncio.sleep(0.3)  # any leaked work would flush here
+                leaked = service.stats.session.requests
+                results = await service.submit_many(
+                    [self._request(50), self._request(51)]
+                )
+                return leaked, results
+
+        leaked, results = asyncio.run(run())
+        assert leaked == 0  # the partial batch was cancelled before planning
+        assert len(results) == 2
+
+    def test_invalid_backpressure_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioService(max_pending=0)
+        with pytest.raises(ValueError):
+            ScenarioService(default_timeout=-1.0)

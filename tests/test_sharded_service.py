@@ -1,0 +1,332 @@
+"""Tests for the sharded multi-process scenario service (`repro.service.shard`).
+
+Covers the tentpole acceptance criteria: a 2-shard run of the full
+``paper_registry()`` portfolio matches the single-process service to
+<= 1e-12 with disjoint per-shard chain ownership, the shared-nothing stats
+protocol aggregates both shards' counters, a killed worker fails exactly
+its own in-flight scenarios while the remaining shards keep serving, and
+the sharded front applies the same backpressure (``QueueFull``) and
+per-request deadline (``ScenarioTimeout``) policies as the in-process
+dispatcher.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.analysis import MeasureKind, MeasureRequest
+from repro.ctmc import CTMC
+from repro.service import (
+    ArtifactCache,
+    QueueFull,
+    ScenarioService,
+    ScenarioTimeout,
+    ServiceClosed,
+    ShardCrashed,
+    ShardedScenarioService,
+    paper_registry,
+    shard_for_fingerprint,
+)
+
+NUM_SHARDS = 2
+
+#: Coarse grid keeping the full-portfolio acceptance run fast; the values
+#: compared are exact at any resolution.
+PORTFOLIO_POINTS = 7
+
+
+def random_chain(num_states: int, seed: int, rate_scale: float = 1.0) -> CTMC:
+    rng = np.random.default_rng(seed)
+    rates = rng.random((num_states, num_states)) * (
+        rng.random((num_states, num_states)) < 0.4
+    )
+    np.fill_diagonal(rates, 0.0)
+    rates[0, 1] = 0.5
+    initial = rng.random(num_states)
+    return CTMC(
+        rates * rate_scale,
+        initial / initial.sum(),
+        labels={"target": [num_states - 1]},
+    )
+
+
+def chain_owned_by(shard: int, num_states: int = 6, rate_scale: float = 1.0) -> CTMC:
+    """A small random chain whose fingerprint routes to ``shard``."""
+    for seed in range(1000):
+        chain = random_chain(num_states, seed=7000 + seed, rate_scale=rate_scale)
+        if shard_for_fingerprint(chain.fingerprint, NUM_SHARDS) == shard:
+            return chain
+    raise AssertionError("no seed routed to the requested shard")  # pragma: no cover
+
+
+def reachability_request(chain: CTMC, times=(0.5, 1.0, 2.0)) -> MeasureRequest:
+    return MeasureRequest(
+        chain=chain, times=times, kind=MeasureKind.REACHABILITY, target="target"
+    )
+
+
+@pytest.fixture(scope="module")
+def portfolio() -> list[MeasureRequest]:
+    """The full paper portfolio (state spaces come from the shared cache)."""
+    registry = paper_registry()
+    return [
+        request
+        for name in registry.names
+        for request in registry.expand(name, points=PORTFOLIO_POINTS)
+    ]
+
+
+@pytest.fixture(scope="module")
+def baseline(portfolio):
+    """Single-process reference results for the whole portfolio."""
+
+    async def run():
+        service = ScenarioService(
+            artifacts=ArtifactCache(), coalesce_window=0.05, max_batch=1024
+        )
+        async with service:
+            return await service.submit_many(list(portfolio))
+
+    return asyncio.run(run())
+
+
+# ---------------------------------------------------------------------------
+# the tentpole acceptance gate: 2 shards == 1 process, chains never duplicated
+# ---------------------------------------------------------------------------
+class TestShardedPortfolio:
+    def test_two_shard_portfolio_matches_single_process(self, portfolio, baseline):
+        async def run():
+            async with ShardedScenarioService(
+                NUM_SHARDS, coalesce_window=0.05, max_batch=1024
+            ) as sharded:
+                results = await sharded.submit_many(list(portfolio))
+                snapshots = await sharded.shard_snapshots()
+                return results, snapshots, sharded.stats
+
+        results, snapshots, stats = asyncio.run(run())
+
+        deviation = max(
+            float(np.max(np.abs(result.values - reference.values)))
+            for result, reference in zip(results, baseline)
+        )
+        assert deviation <= 1e-12
+        for result, reference in zip(results, baseline):
+            assert result.request is reference.request  # re-attached, not rebuilt
+            np.testing.assert_array_equal(result.times, reference.times)
+
+        # Both workers genuinely served traffic...
+        assert stats.submissions == len(portfolio)
+        assert stats.completed == len(portfolio)
+        assert all(count > 0 for count in stats.routed.values())
+        served = {snapshot.index: snapshot for snapshot in snapshots}
+        assert sorted(served) == list(range(NUM_SHARDS))
+        for snapshot in snapshots:
+            assert snapshot.alive
+            assert snapshot.service is not None
+            assert snapshot.service.session.requests == stats.routed[snapshot.index]
+        # ...and fingerprint routing gave each chain exactly one owner: the
+        # artifact caches of the two shards cover disjoint chain sets.
+        fingerprints = [snapshot.fingerprints for snapshot in snapshots]
+        assert all(fingerprints)
+        assert not (fingerprints[0] & fingerprints[1])
+
+    def test_aggregated_metrics_cover_both_shards(self, portfolio, baseline):
+        del baseline  # only ordering matters: module fixtures stay warm
+
+        async def run():
+            async with ShardedScenarioService(
+                NUM_SHARDS, coalesce_window=0.05, max_batch=1024
+            ) as sharded:
+                await sharded.submit_many(list(portfolio))
+                snapshots = await sharded.shard_snapshots()
+                return await sharded.metrics_text(), snapshots
+
+        text, snapshots = asyncio.run(run())
+        lines = text.splitlines()
+        total = sum(snapshot.service.session.requests for snapshot in snapshots)
+        assert f"repro_service_requests_total {total}" in lines
+        assert f"repro_front_submissions_total {len(portfolio)}" in lines
+        for index in range(NUM_SHARDS):
+            assert f'repro_shard_alive{{shard="{index}"}} 1' in lines
+            assert any(
+                line.startswith(f'repro_shard_routed_total{{shard="{index}"}}')
+                for line in lines
+            )
+
+
+# ---------------------------------------------------------------------------
+# routing
+# ---------------------------------------------------------------------------
+class TestRouting:
+    def test_routing_is_deterministic_and_identity_free(self):
+        chain = random_chain(6, seed=3)
+        rebuilt = random_chain(6, seed=3)
+        assert chain is not rebuilt
+        assert shard_for_fingerprint(
+            chain.fingerprint, NUM_SHARDS
+        ) == shard_for_fingerprint(rebuilt.fingerprint, NUM_SHARDS)
+        for shards in (1, 2, 3, 7):
+            assert 0 <= shard_for_fingerprint(chain.fingerprint, shards) < shards
+
+    def test_single_shard_front_works(self):
+        chain = random_chain(5, seed=11)
+
+        async def run():
+            async with ShardedScenarioService(1, coalesce_window=0.0) as sharded:
+                return await sharded.submit(reachability_request(chain))
+
+        result = asyncio.run(run())
+        assert result.values.shape == (1, 3)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            ShardedScenarioService(0)
+        with pytest.raises(ValueError):
+            ShardedScenarioService(2, max_pending=0)
+        with pytest.raises(ValueError):
+            ShardedScenarioService(2, default_timeout=0.0)
+
+
+# ---------------------------------------------------------------------------
+# failure isolation
+# ---------------------------------------------------------------------------
+class TestFailureIsolation:
+    def test_poisoned_request_fails_only_its_own_future(self):
+        healthy = chain_owned_by(0)
+        poisoned = MeasureRequest(
+            chain=chain_owned_by(1),
+            times=(1.0,),
+            kind=MeasureKind.REACHABILITY,
+            target=None,  # validation failure inside the worker
+        )
+
+        async def run():
+            async with ShardedScenarioService(
+                NUM_SHARDS, coalesce_window=0.0
+            ) as sharded:
+                good, bad = await asyncio.gather(
+                    sharded.submit(reachability_request(healthy)),
+                    sharded.submit(poisoned),
+                    return_exceptions=True,
+                )
+                return good, bad, sharded.stats
+
+        good, bad, stats = asyncio.run(run())
+        assert not isinstance(good, BaseException)
+        assert isinstance(bad, Exception)
+        assert "target" in str(bad)
+        assert stats.completed == 1 and stats.failed == 1
+
+    def test_killed_shard_fails_inflight_but_others_keep_serving(self):
+        # ~seconds of queued work on the victim shard: the kill lands while
+        # requests are provably in flight.
+        victim_chains = [
+            chain_owned_by(0, num_states=30, rate_scale=50.0) for _ in range(8)
+        ]
+        survivor_chain = chain_owned_by(1)
+        times = np.linspace(0.0, 40.0, 31)
+
+        async def run():
+            async with ShardedScenarioService(
+                NUM_SHARDS, coalesce_window=0.0
+            ) as sharded:
+                inflight = [
+                    asyncio.ensure_future(
+                        sharded.submit(reachability_request(chain, times))
+                    )
+                    for chain in victim_chains
+                ]
+                await asyncio.sleep(0.05)
+                sharded._shards[0].process.kill()
+                outcomes = await asyncio.gather(*inflight, return_exceptions=True)
+
+                # The surviving shard serves on, before and after new traffic.
+                survivor = await sharded.submit(reachability_request(survivor_chain))
+                # The dead shard rejects fast instead of hanging.
+                with pytest.raises(ShardCrashed):
+                    await sharded.submit(reachability_request(victim_chains[0]))
+                snapshots = await sharded.shard_snapshots()
+                return outcomes, survivor, snapshots
+
+        outcomes, survivor, snapshots = asyncio.run(run())
+        crashed = [o for o in outcomes if isinstance(o, ShardCrashed)]
+        finished = [o for o in outcomes if not isinstance(o, BaseException)]
+        assert len(crashed) + len(finished) == len(outcomes)
+        assert crashed, "the kill must catch at least one request in flight"
+        assert survivor.values.shape == (1, 3)
+        alive = {snapshot.index: snapshot.alive for snapshot in snapshots}
+        assert alive == {0: False, 1: True}
+
+    def test_submit_after_close_raises(self):
+        chain = random_chain(5, seed=23)
+
+        async def run():
+            sharded = ShardedScenarioService(1, coalesce_window=0.0)
+            async with sharded:
+                await sharded.submit(reachability_request(chain))
+            with pytest.raises(ServiceClosed):
+                await sharded.submit(reachability_request(chain))
+
+        asyncio.run(run())
+
+
+# ---------------------------------------------------------------------------
+# backpressure and deadlines on the sharded front
+# ---------------------------------------------------------------------------
+class TestShardedBackpressure:
+    def test_queue_full_rejects_without_poisoning_inflight(self):
+        chains = [chain_owned_by(index % NUM_SHARDS) for index in range(2)]
+        overflow_chain = chain_owned_by(0)
+
+        async def run():
+            async with ShardedScenarioService(
+                NUM_SHARDS, coalesce_window=0.0, max_pending=2
+            ) as sharded:
+                inflight = [
+                    asyncio.ensure_future(
+                        sharded.submit(reachability_request(chain))
+                    )
+                    for chain in chains
+                ]
+                for _ in range(500):  # wait until both submissions are in flight
+                    if sharded._inflight_count() >= 2:
+                        break
+                    await asyncio.sleep(0.01)
+                with pytest.raises(QueueFull):
+                    await sharded.submit(reachability_request(overflow_chain))
+                results = await asyncio.gather(*inflight)
+                # Capacity freed: the rejected request succeeds on retry.
+                retry = await sharded.submit(reachability_request(overflow_chain))
+                return results, retry, sharded.stats
+
+        results, retry, stats = asyncio.run(run())
+        assert len(results) == 2 and retry.values.shape == (1, 3)
+        assert stats.rejected == 1
+        assert stats.completed == 3
+
+    def test_timeout_cancels_only_its_own_future(self):
+        slow_chain = chain_owned_by(0, num_states=30, rate_scale=50.0)
+        fast_chain = chain_owned_by(1)
+        times = np.linspace(0.0, 40.0, 31)
+
+        async def run():
+            async with ShardedScenarioService(
+                NUM_SHARDS, coalesce_window=0.0
+            ) as sharded:
+                slow = sharded.submit(
+                    reachability_request(slow_chain, times), timeout=0.01
+                )
+                fast = sharded.submit(reachability_request(fast_chain))
+                timed_out, result = await asyncio.gather(
+                    slow, fast, return_exceptions=True
+                )
+                return timed_out, result, sharded.stats
+
+        timed_out, result, stats = asyncio.run(run())
+        assert isinstance(timed_out, ScenarioTimeout)
+        assert not isinstance(result, BaseException)
+        assert stats.timeouts == 1
+        assert stats.completed >= 1

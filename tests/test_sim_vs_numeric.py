@@ -1,0 +1,82 @@
+"""Monte-Carlo estimates must bracket the exact numbers at 99% confidence.
+
+The simulator shares the model's scheduling logic but none of the CTMC
+machinery, so these are genuine end-to-end cross-checks of the numerical
+pipelines: the exact values come from the uniformization engine
+(``P=?[U<=t]`` behind unreliability/survivability) and the cached
+linear-solver engine (``S=?`` behind availability), and each fixed-seed
+Monte-Carlo estimate must contain them inside its 99% confidence interval
+(:meth:`repro.sim.ConfidenceInterval.contains`).
+
+Unlike the loose agreement checks in ``test_simulator.py`` (3x tolerance
+bands), these tests pin the estimator's own interval semantics: a bug that
+biased either side — simulation scheduling or numerical solver — by more
+than the sampling noise fails the bracket.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.arcade import build_state_space
+from repro.measures import steady_state_availability, survivability, unreliability
+from repro.sim import (
+    estimate_availability,
+    estimate_survivability,
+    estimate_unreliability,
+)
+
+from helpers import make_mini_model, make_spare_model
+
+CONFIDENCE = 0.99
+
+
+@pytest.fixture(scope="module")
+def mini_model():
+    return make_mini_model("fastest_repair_first")
+
+
+@pytest.fixture(scope="module")
+def mini_space(mini_model):
+    return build_state_space(mini_model)
+
+
+class TestAvailabilityBracketsSteadyState:
+    def test_mini_model(self, mini_model, mini_space):
+        exact = steady_state_availability(mini_space)
+        estimate = estimate_availability(
+            mini_model, horizon=20_000.0, runs=20, seed=0, confidence=CONFIDENCE
+        )
+        assert estimate.confidence == CONFIDENCE
+        assert 0.0 < estimate.half_width < 0.05
+        assert estimate.contains(exact), f"{estimate} does not bracket {exact}"
+
+    def test_spare_model(self):
+        model = make_spare_model(dormancy=0.5)
+        exact = steady_state_availability(build_state_space(model))
+        estimate = estimate_availability(
+            model, horizon=20_000.0, runs=20, seed=1, confidence=CONFIDENCE
+        )
+        assert estimate.contains(exact), f"{estimate} does not bracket {exact}"
+
+
+class TestUnreliabilityBracketsUniformization:
+    @pytest.mark.parametrize("time", [10.0, 40.0])
+    def test_mini_model(self, mini_model, time):
+        exact = float(unreliability(mini_model, time))
+        estimate = estimate_unreliability(
+            mini_model, time, runs=2000, seed=2, confidence=CONFIDENCE
+        )
+        assert 0.0 < exact < 1.0  # a bracket over a degenerate value is vacuous
+        assert estimate.contains(exact), f"{estimate} does not bracket {exact}"
+
+
+class TestSurvivabilityBracketsUniformization:
+    @pytest.mark.parametrize("time", [2.0, 6.0])
+    def test_recovery_to_full_service(self, mini_model, mini_space, time):
+        exact = float(survivability(mini_space, "everything", 1.0, time))
+        estimate = estimate_survivability(
+            mini_model, "everything", 1.0, time, runs=2000, seed=3, confidence=CONFIDENCE
+        )
+        assert 0.0 < exact < 1.0
+        assert estimate.contains(exact), f"{estimate} does not bracket {exact}"
