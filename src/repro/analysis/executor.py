@@ -54,6 +54,7 @@ import numpy as np
 
 from repro.ctmc.ctmc import CTMC
 from repro.ctmc.dtmc import unbounded_reachability
+from repro.ctmc.engines import EngineSelector
 from repro.ctmc.foxglynn import fox_glynn
 from repro.ctmc.linsolve import (
     LinearSolveStats,
@@ -272,6 +273,9 @@ def _execute_group(
         cumulative=need_cumulative,
         epsilon=group.epsilon,
         stats=engine_stats,
+        engine=group.engine,
+        dtype=group.dtype,
+        selector=EngineSelector(artifacts),
         **_lookups(artifacts),
     )
 
@@ -315,11 +319,15 @@ def _execute_longrun_group(
     with every member's observable batched as a right-hand-side column and
     every member's initial distributions reduced by plain dense algebra.
     """
-    engine = (
-        solver
-        if solver is not None
-        else SolverEngine(artifacts=artifacts, stats=linear_stats)
-    )
+    # A forced (non-"auto") group mode cannot reuse the shared auto-mode
+    # solver: its factorization backend — and therefore its cache tokens —
+    # differ (see :class:`repro.ctmc.linsolve.SolverEngine`).
+    if solver is not None and solver.mode == group.engine:
+        engine = solver
+    else:
+        engine = SolverEngine(
+            artifacts=artifacts, stats=linear_stats, mode=group.engine
+        )
     chain = group.chain
     kind = group.members[0].kind
 
@@ -442,6 +450,9 @@ def _execute_interval_bundle(
     value_columns = np.where(blocked[:, None], 0.0, value_columns)
 
     restricted = _transformed(base, blocked, artifacts)
+    # The forward phase follows the group's backend; the backward value
+    # sweep above stays on the legacy float64 CSR path (its operator is not
+    # the cached forward operator, and value vectors are not mass-conserving).
     phase1 = evaluate_grid_block(
         restricted,
         np.array([lower]),
@@ -451,6 +462,9 @@ def _execute_interval_bundle(
         instantaneous=True,
         epsilon=epsilon,
         stats=engine_stats,
+        engine=first_group.engine,
+        dtype=first_group.dtype,
+        selector=EngineSelector(artifacts),
         **_lookups(artifacts),
     )
     per_initial = np.clip(phase1.instantaneous[:, 0, :], 0.0, 1.0)

@@ -44,6 +44,13 @@ import numpy as np
 from scipy import sparse
 
 from repro.ctmc.ctmc import CTMC, CTMCError
+from repro.ctmc.engines import (
+    EngineSelector,
+    default_dtype as process_default_dtype,
+    default_engine_mode as process_default_engine_mode,
+    normalise_dtype,
+    normalise_engine_mode,
+)
 from repro.ctmc.lumping import lump_ctmc, lumping_partition
 from repro.ctmc.uniformization import DEFAULT_EPSILON
 from repro.analysis.requests import (
@@ -94,7 +101,17 @@ class LumpedChain:
 
 @dataclass
 class ExecutionGroup:
-    """Requests that will share one uniformization sweep."""
+    """Requests that will share one uniformization sweep.
+
+    ``engine`` is the numeric backend the sweep (or the long-run solver)
+    will use.  For sweep groups :func:`build_plan` resolves ``"auto"``
+    through the :class:`repro.ctmc.engines.EngineSelector` against the
+    chain actually swept (the lumping quotient when one exists), so the
+    executor always sees a concrete backend; long-run groups keep the
+    requested mode and let the solver pick per restricted system.
+    ``dtype`` is the sweep lane (always ``"float64"`` for interval and
+    long-run groups).
+    """
 
     chain: CTMC  # the operating chain (after the absorbing transform)
     rate: float
@@ -104,6 +121,8 @@ class ExecutionGroup:
     interval: bool = False
     longrun: bool = False
     lumped: LumpedChain | None = None
+    engine: str = "auto"
+    dtype: str = "float64"
 
 
 @dataclass
@@ -137,6 +156,11 @@ def normalise_request(request: MeasureRequest, index: int = 0) -> PlannedRequest
     times = np.asarray(request.times, dtype=float)
     if times.ndim != 1:
         raise CTMCError("time grid must be one-dimensional")
+    if request.engine is not None:
+        normalise_engine_mode(request.engine)
+    requested_dtype = (
+        normalise_dtype(request.dtype).name if request.dtype is not None else None
+    )
     kind = request.kind
     if kind in LONGRUN_KINDS:
         if times.size:
@@ -166,6 +190,14 @@ def normalise_request(request: MeasureRequest, index: int = 0) -> PlannedRequest
             # it shares regular groups (and gets the correct CSL semantics —
             # target states outside `safe` still count as immediate wins).
             kind = MeasureKind.REACHABILITY
+        elif requested_dtype == "float32":
+            # The float32 lane's mass renormalization is only valid for the
+            # forward (column-stochastic) sweep; the interval backward value
+            # sweep is not mass-conserving, so the lane is rejected rather
+            # than silently degraded.
+            raise CTMCError(
+                "interval reachability does not support the float32 lane"
+            )
     elif request.lower:
         raise CTMCError(
             f"lower bound only applies to interval reachability, not {request.kind.value}"
@@ -231,6 +263,8 @@ def build_plan(
     batched: bool = True,
     default_epsilon: float = DEFAULT_EPSILON,
     artifacts: Any | None = None,
+    default_engine: str | None = None,
+    default_dtype: Any | None = None,
 ) -> ExecutionPlan:
     """Group ``requests`` into execution groups (see module docstring).
 
@@ -243,13 +277,43 @@ def build_plan(
     given, absorbing transforms and lumping quotients are looked up in the
     process-wide cache by chain fingerprint instead of being rebuilt per
     plan, so repeated portfolio sweeps reuse them across sessions.
+
+    ``default_engine``/``default_dtype`` fill in for requests that leave
+    their own knobs at ``None``; ``None`` here falls through to the
+    process-wide defaults (:func:`repro.ctmc.engines.default_engine_mode` /
+    :func:`repro.ctmc.engines.default_dtype`, which the CLI flags set).
+    Engine mode and dtype take part in the group keys — requests on
+    different backends or lanes never share a sweep — and ``"auto"`` is
+    resolved to a concrete backend per sweep group before the plan is
+    returned, consulting the selector against the chain the executor will
+    actually sweep (the lumping quotient when one exists).
     """
+    plan_engine = (
+        process_default_engine_mode()
+        if default_engine is None
+        else normalise_engine_mode(default_engine)
+    )
+    plan_dtype = (
+        process_default_dtype()
+        if default_dtype is None
+        else normalise_dtype(default_dtype)
+    ).name
     groups: dict[tuple, ExecutionGroup] = {}
     transformed_cache: dict[tuple[int, bytes], CTMC] = {}
 
     for index, request in enumerate(requests):
         planned = normalise_request(request, index)
         epsilon = request.epsilon if request.epsilon is not None else default_epsilon
+        engine_mode = (
+            normalise_engine_mode(request.engine)
+            if request.engine is not None
+            else plan_engine
+        )
+        dtype_name = (
+            normalise_dtype(request.dtype).name
+            if request.dtype is not None
+            else plan_dtype
+        )
         base = request.chain
 
         if planned.kind in LONGRUN_KINDS:
@@ -272,7 +336,7 @@ def build_plan(
                 )
             else:  # REACHABILITY_REWARD
                 longrun_token = b"reach-reward" + planned.target_mask.tobytes()
-            key = (id(base), longrun_token, planned.kind.value)
+            key = (id(base), longrun_token, planned.kind.value, engine_mode)
             if not batched:
                 key = key + (index,)
             group = groups.get(key)
@@ -283,6 +347,7 @@ def build_plan(
                     times=planned.times,
                     epsilon=float(epsilon),
                     longrun=True,
+                    engine=engine_mode,  # the solver picks per system size
                 )
                 groups[key] = group
             group.members.append(planned)
@@ -317,12 +382,17 @@ def build_plan(
             operating = base
             transform_token = b""
 
+        if interval:
+            dtype_name = "float64"  # the backward value sweep needs float64
+
         key = (
             id(base),
             transform_token,
             float(operating.max_exit_rate),
             planned.times.tobytes(),
             float(epsilon),
+            engine_mode,
+            dtype_name,
         )
         if not batched:
             key = key + (index,)
@@ -335,6 +405,8 @@ def build_plan(
                 times=planned.times,
                 epsilon=float(epsilon),
                 interval=interval,
+                engine=engine_mode,
+                dtype=dtype_name,
             )
             groups[key] = group
         group.members.append(planned)
@@ -360,6 +432,16 @@ def build_plan(
                     RuntimeWarning,
                     stacklevel=2,
                 )
+
+    # The planner consults the selector: resolve "auto" per sweep group
+    # against the chain the executor will actually sweep (the quotient once
+    # lumping collapsed it), persisting the decision in the artifact cache.
+    selector = EngineSelector(artifacts)
+    for group in plan.groups:
+        if group.longrun or group.engine != "auto":
+            continue
+        swept = group.lumped.quotient if group.lumped is not None else group.chain
+        group.engine = selector.resolve(swept, "auto", group.dtype)
     return plan
 
 

@@ -52,7 +52,11 @@ class SessionStats:
     ``solved_columns`` mirror the long-run solver engine
     (:class:`repro.ctmc.linsolve.LinearSolveStats`): LU factorizations
     actually built (warm cache hits do not count), triangular solve calls
-    and the right-hand-side columns they carried.
+    and the right-hand-side columns they carried.  ``equivalent_nnz`` and
+    the ``*_seconds`` timers are the backend-invariant work and wall-clock
+    accounting introduced with the pluggable engine layer
+    (:mod:`repro.ctmc.engines`); ``dense_factorizations`` counts how many
+    of the LU builds took the dense LAPACK path.
     """
 
     requests: int = 0
@@ -61,9 +65,14 @@ class SessionStats:
     matvecs: int = 0
     applies: int = 0
     sparse_flops: int = 0
+    equivalent_nnz: int = 0
+    sweep_seconds: float = 0.0
     factorizations: int = 0
+    dense_factorizations: int = 0
     linear_solves: int = 0
     solved_columns: int = 0
+    factor_seconds: float = 0.0
+    solve_seconds: float = 0.0
     lumped_groups: int = 0
     lumped_states_before: int = 0
     lumped_states_after: int = 0
@@ -74,11 +83,16 @@ class SessionStats:
         self.matvecs += engine.matvecs
         self.applies += engine.applies
         self.sparse_flops += engine.sparse_flops
+        self.equivalent_nnz += engine.equivalent_nnz
+        self.sweep_seconds += engine.sweep_seconds
 
     def absorb_linear(self, linear: LinearSolveStats) -> None:
         self.factorizations += linear.factorizations
+        self.dense_factorizations += linear.dense_factorizations
         self.linear_solves += linear.solves
         self.solved_columns += linear.columns
+        self.factor_seconds += linear.factor_seconds
+        self.solve_seconds += linear.solve_seconds
 
     def absorb(self, other: "SessionStats") -> None:
         """Accumulate another stats object field-by-field.
@@ -92,9 +106,14 @@ class SessionStats:
         self.matvecs += other.matvecs
         self.applies += other.applies
         self.sparse_flops += other.sparse_flops
+        self.equivalent_nnz += other.equivalent_nnz
+        self.sweep_seconds += other.sweep_seconds
         self.factorizations += other.factorizations
+        self.dense_factorizations += other.dense_factorizations
         self.linear_solves += other.linear_solves
         self.solved_columns += other.solved_columns
+        self.factor_seconds += other.factor_seconds
+        self.solve_seconds += other.solve_seconds
         self.lumped_groups += other.lumped_groups
         self.lumped_states_before += other.lumped_states_before
         self.lumped_states_after += other.lumped_states_after
@@ -125,12 +144,18 @@ class SessionStats:
             f"applies={self.applies}",
             f"sparse_flops={self.sparse_flops}",
         ]
+        if self.equivalent_nnz:
+            parts.append(f"equivalent_nnz={self.equivalent_nnz}")
+        if self.sweep_seconds:
+            parts.append(f"sweep_seconds={self.sweep_seconds:.3f}")
         if self.linear_solves or self.factorizations:
             parts.append(
                 f"factorizations={self.factorizations}"
                 f" linear_solves={self.linear_solves}"
                 f" solved_columns={self.solved_columns}"
             )
+        if self.dense_factorizations:
+            parts.append(f"dense_factorizations={self.dense_factorizations}")
         if self.lumped_groups:
             parts.append(
                 f"lumped {self.lumped_groups} groups "
@@ -164,6 +189,13 @@ class AnalysisSession:
         then looked up process-wide (keyed by chain fingerprint) instead of
         being rebuilt per session.  The scenario service passes its cache
         here; standalone sessions default to no cross-session caching.
+    engine:
+        Default numeric backend for requests that do not set one — one of
+        :data:`repro.ctmc.engines.ENGINE_MODES`.  ``None`` falls back to
+        the process-wide default (``"auto"`` unless the CLI overrode it).
+    dtype:
+        Default sweep lane (``"float64"``/``"float32"``) for requests that
+        do not set one; ``None`` falls back to the process-wide default.
     """
 
     def __init__(
@@ -174,12 +206,16 @@ class AnalysisSession:
         epsilon: float = DEFAULT_EPSILON,
         stats: SessionStats | None = None,
         artifacts=None,
+        engine: str | None = None,
+        dtype=None,
     ) -> None:
         self.lump = lump
         self.batched = batched
         self.default_epsilon = float(epsilon)
         self.stats = stats if stats is not None else SessionStats()
         self.artifacts = artifacts
+        self.engine = engine
+        self.dtype = dtype
         self._requests: list[MeasureRequest] = []
 
     # ------------------------------------------------------------------
@@ -212,6 +248,8 @@ class AnalysisSession:
             batched=self.batched,
             default_epsilon=self.default_epsilon,
             artifacts=self.artifacts,
+            default_engine=self.engine,
+            default_dtype=self.dtype,
         )
 
     def execute(self) -> list[MeasureResult]:

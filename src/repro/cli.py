@@ -127,6 +127,23 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--engine",
+        choices=["auto", "sparse", "dense"],
+        default="auto",
+        help=(
+            "numeric backend for sweeps and solves: 'auto' picks dense BLAS "
+            "kernels for small/dense chains and CSR otherwise (default: auto)"
+        ),
+    )
+    parser.add_argument(
+        "--float32",
+        action="store_true",
+        help=(
+            "run forward sweeps in the float32 lane (<=1e-6 from float64; "
+            "long-run solves stay float64)"
+        ),
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=None,
@@ -216,6 +233,17 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="pending-request cap that cuts the window short (default: 1024)",
     )
     parser.add_argument(
+        "--engine",
+        choices=["auto", "sparse", "dense"],
+        default="auto",
+        help="numeric backend for the service's sweeps/solves (default: auto)",
+    )
+    parser.add_argument(
+        "--float32",
+        action="store_true",
+        help="run the service's forward sweeps in the float32 lane",
+    )
+    parser.add_argument(
         "--metrics",
         action="store_true",
         help=(
@@ -291,6 +319,8 @@ def serve_http_main(args: argparse.Namespace) -> int:
                 max_pending=args.max_pending,
                 default_timeout=args.timeout,
                 registry=paper_registry(),
+                engine=args.engine,
+                dtype="float32" if args.float32 else None,
             )
         else:
             service = ScenarioService(
@@ -301,6 +331,8 @@ def serve_http_main(args: argparse.Namespace) -> int:
                 default_timeout=args.timeout,
                 artifacts=ArtifactCache(),
                 registry=paper_registry(),
+                engine=args.engine,
+                dtype="float32" if args.float32 else None,
             )
         async with service:
             server = ScenarioHTTPServer(service, host=args.host, port=args.http)
@@ -354,6 +386,8 @@ def serve_main(argv: list[str] | None = None) -> int:
             default_timeout=args.timeout,
             artifacts=ArtifactCache(),
             registry=registry,
+            engine=args.engine,
+            dtype="float32" if args.float32 else None,
         )
         async with service:
             # State-space construction (seconds on a cold process) must not
@@ -409,6 +443,13 @@ def main(argv: list[str] | None = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
     points = args.points if args.points is not None else (21 if args.fast else 101)
+    # The experiment runners build their own sessions deep inside the case
+    # study; the engine/dtype choice travels via the process-wide defaults
+    # every build_plan falls back to.
+    from repro.ctmc import engines
+
+    engines.set_default_engine_mode(args.engine)
+    engines.set_default_dtype("float32" if args.float32 else "float64")
 
     names = list(_EXPERIMENTS) if "all" in args.experiments else list(dict.fromkeys(args.experiments))
     stats = SessionStats()

@@ -1,0 +1,620 @@
+"""Pluggable numeric engines for the uniformization and linear-solve kernels.
+
+Every measure in the paper's pipeline bottoms out in two inner loops — the
+vector-power walk ``v ← Pᵀ·v`` of :mod:`repro.ctmc.uniformization` and the
+restricted linear solves of :mod:`repro.ctmc.linsolve` /
+:mod:`repro.ctmc.steady_state`.  Historically both were hard-wired to
+generic scipy CSR dispatch, which pays Python-level overhead per step even
+on chains with a few dozen states (the lumping quotients of the case-study
+lines).  This module puts those loops behind a small :class:`Engine`
+abstraction with three interchangeable backends:
+
+``SparseEngine``
+    The legacy CSR path, extracted verbatim: ``operator @ block`` and
+    ``splu`` factorizations.  Bit-for-bit identical to the pre-engine
+    numerics in float64.
+
+``DenseEngine``
+    For chains below a size/density threshold the uniformized operator is
+    densified **once** (``toarray()``, cached in the
+    :class:`repro.service.cache.ArtifactCache` under the byte-weighted
+    ``dense_operator`` kind) and the power walk runs as BLAS GEMMs on a
+    preallocated ping-pong buffer pair.  Small restricted linear systems
+    use a dense LAPACK LU (:class:`DenseFactorization`) instead of
+    ``splu``.  Measured on the Fig. 8 Line 2 lumping quotient (79 states)
+    the GEMM walk is several times faster than CSR dispatch.
+
+``NumbaEngine``
+    An optional jitted CSR walk (guarded import; auto-skipped when numba
+    is absent).  It is never chosen by the automatic selector — the JIT
+    warm-up would eat the win on short-lived processes — but can be forced
+    with ``engine="numba"`` where numba is installed and sweeps are long.
+
+Backends are selected per ``(chain fingerprint, dtype)`` by
+:class:`EngineSelector`; the analysis planner consults it when it resolves
+``engine="auto"`` and the artifact cache persists both the decision (kind
+``engine``) and the densified operator (kind ``dense_operator``) alongside
+the CSR operators.
+
+**dtype contract.**  The sweep supports a float32 lane: distributions walk
+in float32 with a per-step mass renormalization (valid because forward
+operators are column-stochastic), while Poisson-window folds and reward
+accumulators stay float64.  Results are within ``1e-6`` of the float64
+lane (measured worst case across the differential-test population:
+``~2e-7``); float64 remains bit-exact with the pre-engine code.  Interval
+reachability and all long-run solves always run in float64.
+
+**Oversubscription guard.**  Dense GEMMs tempt BLAS into spawning its own
+thread pool under every worker thread of the scenario service.
+:func:`blas_thread_budget` / :func:`pin_blas_threads` compute and pin a
+per-shard BLAS thread budget via the usual environment knobs; the sharded
+service applies them around worker spawn, and
+:func:`default_worker_count` bounds the in-process executor pool.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+from typing import Any, Callable
+
+import numpy as np
+from scipy import linalg as dense_linalg
+from scipy import sparse
+from scipy.sparse import linalg as sparse_linalg
+
+from repro.ctmc.ctmc import CTMC, CTMCError
+
+__all__ = [
+    "DENSE_DENSITY_THRESHOLD",
+    "DENSE_RELAXED_LIMIT",
+    "DENSE_SOLVE_LIMIT",
+    "DENSE_STATE_LIMIT",
+    "ENGINE_MODES",
+    "DenseEngine",
+    "DenseFactorization",
+    "Engine",
+    "EngineSelector",
+    "NumbaEngine",
+    "SparseEngine",
+    "SparseFactorization",
+    "blas_thread_budget",
+    "default_dtype",
+    "default_engine_mode",
+    "default_worker_count",
+    "have_numba",
+    "normalise_dtype",
+    "normalise_engine_mode",
+    "pin_blas_threads",
+    "set_default_dtype",
+    "set_default_engine_mode",
+]
+
+#: Valid values for every ``engine=`` knob in the stack.
+ENGINE_MODES = ("auto", "sparse", "dense", "numba")
+
+#: Below this many states the dense GEMM walk wins regardless of density
+#: (measured 2–6x over CSR dispatch on CI-class hardware).
+DENSE_STATE_LIMIT = 256
+
+#: Up to this many states the dense walk still wins *if* the operator is
+#: dense enough (measured ~4x at density 0.3, break-even near 0.1).
+DENSE_RELAXED_LIMIT = 768
+
+#: Density threshold (nnz / n²) for the relaxed size band.
+DENSE_DENSITY_THRESHOLD = 0.15
+
+#: Never densify an operator beyond this many bytes, whatever the
+#: heuristic says — the cached array would crowd out everything else.
+DENSE_MEMORY_LIMIT_BYTES = 64 << 20
+
+#: Restricted linear systems at or below this order use the dense LAPACK
+#: LU instead of ``splu`` when the solver runs in ``auto`` mode.
+DENSE_SOLVE_LIMIT = 128
+
+#: Environment knobs honoured by the common BLAS implementations.
+BLAS_ENV_VARS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+)
+
+_SUPPORTED_DTYPES = {"float32": np.float32, "float64": np.float64}
+
+
+# ---------------------------------------------------------------------------
+# knob normalisation and process-wide defaults
+# ---------------------------------------------------------------------------
+def normalise_engine_mode(mode: Any) -> str:
+    """Validate an ``engine=`` knob, returning its canonical string form."""
+    name = str(mode).lower()
+    if name not in ENGINE_MODES:
+        raise CTMCError(
+            f"unknown engine mode {mode!r}; expected one of {ENGINE_MODES}"
+        )
+    if name == "numba" and not have_numba():
+        raise CTMCError("engine='numba' requested but numba is not installed")
+    return name
+
+
+def normalise_dtype(dtype: Any) -> np.dtype:
+    """Validate a ``dtype=`` knob (float32/float64 only)."""
+    resolved = np.dtype(np.float64 if dtype is None else dtype)
+    if resolved.name not in _SUPPORTED_DTYPES:
+        raise CTMCError(
+            f"unsupported sweep dtype {dtype!r}; expected float32 or float64"
+        )
+    return resolved
+
+
+_DEFAULTS = {"mode": "auto", "dtype": np.dtype(np.float64)}
+
+
+def default_engine_mode() -> str:
+    """The process-wide engine mode used when no knob is passed."""
+    return _DEFAULTS["mode"]
+
+
+def set_default_engine_mode(mode: Any) -> str:
+    """Set the process-wide engine mode (the CLI's ``--engine`` flag)."""
+    _DEFAULTS["mode"] = normalise_engine_mode(mode)
+    return _DEFAULTS["mode"]
+
+
+def default_dtype() -> np.dtype:
+    """The process-wide sweep dtype used when no knob is passed."""
+    return _DEFAULTS["dtype"]
+
+
+def set_default_dtype(dtype: Any) -> np.dtype:
+    """Set the process-wide sweep dtype (the CLI's ``--float32`` flag)."""
+    _DEFAULTS["dtype"] = normalise_dtype(dtype)
+    return _DEFAULTS["dtype"]
+
+
+def have_numba() -> bool:
+    """Whether the optional numba backend can be imported at all."""
+    return importlib.util.find_spec("numba") is not None
+
+
+# ---------------------------------------------------------------------------
+# factorizations (shared by the engines and the long-run SolverEngine)
+# ---------------------------------------------------------------------------
+class SparseFactorization:
+    """An LU factorization of a sparse system via ``splu`` (the legacy path)."""
+
+    __slots__ = ("_lu", "shape", "nnz")
+
+    def __init__(self, matrix) -> None:
+        csc = sparse.csc_matrix(matrix)
+        if csc.shape[0] != csc.shape[1]:
+            raise CTMCError("only square systems can be factorized")
+        self.shape = csc.shape
+        self.nnz = int(csc.nnz)
+        self._lu = sparse_linalg.splu(csc)
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        return self._lu.solve(np.asarray(rhs, dtype=float))
+
+
+class DenseFactorization:
+    """A dense LAPACK LU for small restricted systems.
+
+    Below :data:`DENSE_SOLVE_LIMIT` states, ``lu_factor``/``lu_solve`` beat
+    ``splu``'s per-call overhead; the ``solve`` signature matches
+    :class:`SparseFactorization` so :class:`repro.ctmc.linsolve.SolverEngine`
+    can swap them freely (deviation vs. ``splu`` is at rounding level,
+    ~1e-14 on the case-study systems).
+    """
+
+    __slots__ = ("_lu_piv", "shape", "nnz")
+
+    def __init__(self, matrix) -> None:
+        if sparse.issparse(matrix):
+            self.nnz = int(matrix.nnz)
+            dense = matrix.toarray()
+        else:
+            dense = np.asarray(matrix, dtype=float)
+            self.nnz = int(np.count_nonzero(dense))
+        if dense.ndim != 2 or dense.shape[0] != dense.shape[1]:
+            raise CTMCError("only square systems can be factorized")
+        self.shape = dense.shape
+        self._lu_piv = dense_linalg.lu_factor(dense)
+
+    def solve(self, rhs: np.ndarray) -> np.ndarray:
+        return dense_linalg.lu_solve(self._lu_piv, np.asarray(rhs, dtype=float))
+
+
+# ---------------------------------------------------------------------------
+# the engines
+# ---------------------------------------------------------------------------
+class Engine:
+    """One numeric backend bound to one operator (and one dtype).
+
+    Subclasses provide the two kernels the stack needs — the power-walk
+    step :meth:`apply_operator` and the restricted-system
+    :meth:`factorize`/:meth:`solve` pair — plus the accounting hooks that
+    keep op counts backend-invariant: :attr:`equivalent_nnz` is the number
+    of equivalent sparse multiply-adds one operator application performs
+    *per column*, always reported as the **source CSR** non-zero count so
+    ``sparse_flops`` gates keep meaning the same thing whether the step ran
+    as a CSR matvec or a dense GEMM.
+    """
+
+    #: backend identifier ("sparse" / "dense" / "numba")
+    name: str = "abstract"
+
+    def __init__(self, dtype: Any = np.float64, equivalent_nnz: int = 0) -> None:
+        self.dtype = normalise_dtype(dtype)
+        self.equivalent_nnz = int(equivalent_nnz)
+
+    # -- power walk -----------------------------------------------------
+    def apply_operator(
+        self, block: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        """One ``operator @ block`` step; may write into ``out`` and return it."""
+        raise NotImplementedError
+
+    def new_scratch(self, block: np.ndarray) -> np.ndarray | None:
+        """A ping-pong partner buffer for :meth:`apply_operator`, or ``None``
+        when the backend allocates its own result (the CSR path)."""
+        return None
+
+    def power_block(
+        self,
+        vectors: np.ndarray,
+        out_block: np.ndarray,
+        scratch: np.ndarray | None,
+        advance_final: bool,
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Record one block of successive operator powers of ``vectors``.
+
+        ``out_block[i]`` receives ``operatorⁱ @ vectors`` for each of the
+        block's ``len(out_block)`` slots; with ``advance_final`` the walk
+        takes one extra step so the returned ``vectors`` already holds the
+        first power of the *next* block.  Returns the updated ``(vectors,
+        scratch)`` ping-pong pair.  Backends whose kernels can write into
+        arbitrary buffers override this to stream powers straight into the
+        block slots, skipping the per-step copy this generic walk performs.
+        """
+        steps = out_block.shape[0]
+        for offset in range(steps):
+            out_block[offset] = vectors
+            if offset < steps - 1 or advance_final:
+                advanced = self.apply_operator(vectors, out=scratch)
+                if advanced is scratch and scratch is not None:
+                    scratch = vectors
+                vectors = advanced
+        return vectors, scratch
+
+    # -- restricted solves ----------------------------------------------
+    def factorize(self, matrix) -> SparseFactorization | DenseFactorization:
+        """Factorize a (sub)system for repeated :meth:`solve` calls."""
+        raise NotImplementedError
+
+    def solve(self, factorization, rhs: np.ndarray) -> np.ndarray:
+        return factorization.solve(rhs)
+
+
+class SparseEngine(Engine):
+    """The legacy CSR backend — scipy dispatch, ``splu`` factorizations."""
+
+    name = "sparse"
+
+    def __init__(self, operator, dtype: Any = np.float64) -> None:
+        nnz = (
+            int(operator.nnz)
+            if sparse.issparse(operator)
+            else int(np.count_nonzero(operator))
+        )
+        super().__init__(dtype, nnz)
+        if sparse.issparse(operator) and operator.dtype != self.dtype:
+            operator = operator.astype(self.dtype)
+        self._operator = operator
+
+    def apply_operator(
+        self, block: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        return self._operator @ block
+
+    def factorize(self, matrix) -> SparseFactorization:
+        return SparseFactorization(matrix)
+
+
+class DenseEngine(Engine):
+    """BLAS GEMM walk over a one-time densified operator.
+
+    ``dense`` is the densified forward operator (C-contiguous, already cast
+    to the lane dtype); ``equivalent_nnz`` is the **source CSR** non-zero
+    count so op accounting stays comparable with the sparse backend.
+    """
+
+    name = "dense"
+
+    def __init__(self, dense: np.ndarray, dtype: Any, equivalent_nnz: int) -> None:
+        super().__init__(dtype, equivalent_nnz)
+        self._dense = np.ascontiguousarray(dense, dtype=self.dtype)
+
+    @classmethod
+    def from_operator(cls, operator, dtype: Any = np.float64) -> "DenseEngine":
+        dense = operator.toarray() if sparse.issparse(operator) else np.asarray(operator)
+        nnz = (
+            int(operator.nnz)
+            if sparse.issparse(operator)
+            else int(np.count_nonzero(dense))
+        )
+        return cls(dense, dtype, nnz)
+
+    def apply_operator(
+        self, block: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        if out is None:
+            return self._dense @ block
+        np.matmul(self._dense, block, out=out)
+        return out
+
+    def new_scratch(self, block: np.ndarray) -> np.ndarray:
+        return np.empty_like(block)
+
+    def power_block(
+        self,
+        vectors: np.ndarray,
+        out_block: np.ndarray,
+        scratch: np.ndarray | None,
+        advance_final: bool,
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        # GEMM each power directly into its block slot: no ping-pong, no
+        # per-step store of the previous power.  ``out_block[i]`` slices of a
+        # C-ordered block are themselves contiguous, so BLAS takes them as-is.
+        matrix = self._dense
+        previous = out_block[0]
+        previous[...] = vectors
+        for offset in range(1, out_block.shape[0]):
+            current = out_block[offset]
+            np.matmul(matrix, previous, out=current)
+            previous = current
+        if advance_final:
+            np.matmul(matrix, previous, out=vectors)
+        return vectors, scratch
+
+    def factorize(self, matrix) -> DenseFactorization:
+        return DenseFactorization(matrix)
+
+
+class NumbaEngine(Engine):
+    """Jitted CSR walk (optional; requires numba).
+
+    Never selected automatically: the first call pays JIT compilation,
+    which only amortizes on long-lived processes with very long sweeps.
+    """
+
+    name = "numba"
+
+    def __init__(self, operator, dtype: Any = np.float64) -> None:
+        if not have_numba():
+            raise CTMCError("NumbaEngine requires numba, which is not installed")
+        csr = sparse.csr_matrix(operator)
+        super().__init__(dtype, int(csr.nnz))
+        self._data = csr.data.astype(self.dtype)
+        self._indices = csr.indices.astype(np.int64)
+        self._indptr = csr.indptr.astype(np.int64)
+        self._shape = csr.shape
+        self._kernel = _numba_csr_kernel()
+
+    def apply_operator(
+        self, block: np.ndarray, out: np.ndarray | None = None
+    ) -> np.ndarray:
+        if out is None:
+            out = np.empty_like(block)
+        self._kernel(self._data, self._indices, self._indptr, block, out)
+        return out
+
+    def new_scratch(self, block: np.ndarray) -> np.ndarray:
+        return np.empty_like(block)
+
+    def factorize(self, matrix) -> SparseFactorization:
+        return SparseFactorization(matrix)
+
+
+_NUMBA_KERNEL: Callable | None = None
+
+
+def _numba_csr_kernel() -> Callable:
+    """Compile (once per process) the jitted CSR block-apply kernel."""
+    global _NUMBA_KERNEL
+    if _NUMBA_KERNEL is None:
+        import numba
+
+        @numba.njit(parallel=True, fastmath=False, cache=False)
+        def csr_apply(data, indices, indptr, block, out):  # pragma: no cover
+            rows = indptr.shape[0] - 1
+            columns = block.shape[1]
+            for row in numba.prange(rows):
+                for column in range(columns):
+                    accumulator = 0.0
+                    for pointer in range(indptr[row], indptr[row + 1]):
+                        accumulator += data[pointer] * block[indices[pointer], column]
+                    out[row, column] = accumulator
+
+        _NUMBA_KERNEL = csr_apply
+    return _NUMBA_KERNEL
+
+
+# ---------------------------------------------------------------------------
+# selection
+# ---------------------------------------------------------------------------
+class EngineSelector:
+    """Resolve ``engine="auto"`` into a concrete backend per chain/dtype.
+
+    The heuristic was calibrated by timing the uniformization walk across
+    synthetic operators on CI-class hardware: dense wins outright below
+    :data:`DENSE_STATE_LIMIT` states, keeps winning up to
+    :data:`DENSE_RELAXED_LIMIT` states when the operator density is at
+    least :data:`DENSE_DENSITY_THRESHOLD`, and loses badly beyond (the
+    full 2560-state Line 2 chain is ~70x faster sparse).  ``auto`` never
+    picks numba — its JIT warm-up is not amortized on the service's
+    mixed portfolios.
+
+    With an :class:`repro.service.cache.ArtifactCache` attached, both the
+    per-``(chain fingerprint, dtype)`` decision (kind ``engine``) and the
+    densified operator (kind ``dense_operator``, byte-weighted) persist
+    across sessions and flushes.
+    """
+
+    def __init__(
+        self,
+        artifacts: Any = None,
+        *,
+        dense_state_limit: int = DENSE_STATE_LIMIT,
+        dense_relaxed_limit: int = DENSE_RELAXED_LIMIT,
+        dense_density_threshold: float = DENSE_DENSITY_THRESHOLD,
+    ) -> None:
+        self.artifacts = artifacts
+        self.dense_state_limit = int(dense_state_limit)
+        self.dense_relaxed_limit = int(dense_relaxed_limit)
+        self.dense_density_threshold = float(dense_density_threshold)
+
+    # -- the heuristic ---------------------------------------------------
+    def choose(self, num_states: int, nnz: int, dtype: Any = np.float64) -> str:
+        """Backend name for an operator of the given order and fill."""
+        num_states = int(num_states)
+        itemsize = normalise_dtype(dtype).itemsize
+        if num_states * num_states * itemsize > DENSE_MEMORY_LIMIT_BYTES:
+            return "sparse"
+        if num_states <= self.dense_state_limit:
+            return "dense"
+        density = nnz / max(1, num_states * num_states)
+        if (
+            num_states <= self.dense_relaxed_limit
+            and density >= self.dense_density_threshold
+        ):
+            return "dense"
+        return "sparse"
+
+    def resolve(
+        self, chain: CTMC | None, mode: str, dtype: Any, nnz: int | None = None
+    ) -> str:
+        """Concrete backend for ``mode``; persists ``auto`` decisions."""
+        mode = normalise_engine_mode(mode)
+        if mode != "auto":
+            return mode
+        if chain is None:
+            raise CTMCError("auto engine selection needs a chain to inspect")
+        dtype = normalise_dtype(dtype)
+        estimated = (
+            int(nnz)
+            if nnz is not None
+            # forward operator nnz: off-diagonal rates + the uniformization
+            # self-loop on (almost) every diagonal entry
+            else int(chain.rate_matrix.nnz) + chain.num_states
+        )
+        decide = lambda: self.choose(chain.num_states, estimated, dtype)
+        if self.artifacts is not None:
+            return self.artifacts.engine_choice(chain, dtype.name, decide)
+        return decide()
+
+    # -- engine construction ---------------------------------------------
+    def engine_for(
+        self,
+        chain: CTMC | None,
+        operator,
+        rate: float,
+        *,
+        mode: str = "auto",
+        dtype: Any = np.float64,
+    ) -> Engine:
+        """Build (or fetch from the artifact cache) the backend for one sweep."""
+        dtype = normalise_dtype(dtype)
+        nnz = int(operator.nnz) if sparse.issparse(operator) else None
+        resolved = self.resolve(chain, mode, dtype, nnz=nnz) if mode == "auto" else (
+            normalise_engine_mode(mode)
+        )
+        if resolved == "dense":
+            return self._dense_engine(chain, operator, rate, dtype)
+        if resolved == "numba":
+            return NumbaEngine(operator, dtype)
+        return self._sparse_engine(chain, operator, rate, dtype)
+
+    def _dense_engine(self, chain, operator, rate, dtype) -> DenseEngine:
+        nnz = (
+            int(operator.nnz)
+            if sparse.issparse(operator)
+            else int(np.count_nonzero(operator))
+        )
+        if self.artifacts is not None and chain is not None:
+            dense = self.artifacts.dense_operator(
+                chain,
+                float(rate),
+                dtype.name,
+                lambda: np.ascontiguousarray(
+                    operator.toarray()
+                    if sparse.issparse(operator)
+                    else np.asarray(operator),
+                    dtype=dtype,
+                ),
+            )
+        else:
+            dense = (
+                operator.toarray() if sparse.issparse(operator) else np.asarray(operator)
+            )
+        return DenseEngine(dense, dtype, nnz)
+
+    def _sparse_engine(self, chain, operator, rate, dtype) -> SparseEngine:
+        if (
+            dtype == np.float32
+            and self.artifacts is not None
+            and chain is not None
+            and sparse.issparse(operator)
+        ):
+            operator = self.artifacts.get_or_create(
+                "operator",
+                (chain.fingerprint, float(rate), dtype.name),
+                lambda: operator.astype(np.float32),
+            )
+        return SparseEngine(operator, dtype)
+
+
+# ---------------------------------------------------------------------------
+# BLAS / thread-pool oversubscription guard
+# ---------------------------------------------------------------------------
+def blas_thread_budget(num_shards: int = 1) -> int:
+    """BLAS threads each of ``num_shards`` processes may use without
+    oversubscribing the machine."""
+    return max(1, (os.cpu_count() or 1) // max(1, int(num_shards)))
+
+
+def pin_blas_threads(count: int) -> dict[str, str | None]:
+    """Pin the BLAS thread count via environment, returning prior values.
+
+    Must run *before* the processes (or the numpy import) that should honour
+    it — BLAS pools read these variables once at load time, which is why the
+    sharded service sets them around ``process.start()`` so spawned workers
+    inherit the pinned environment.
+    """
+    previous: dict[str, str | None] = {}
+    for variable in BLAS_ENV_VARS:
+        previous[variable] = os.environ.get(variable)
+        os.environ[variable] = str(max(1, int(count)))
+    return previous
+
+
+def restore_blas_threads(previous: dict[str, str | None]) -> None:
+    """Undo :func:`pin_blas_threads` in the calling process."""
+    for variable, value in previous.items():
+        if value is None:
+            os.environ.pop(variable, None)
+        else:
+            os.environ[variable] = value
+
+
+def default_worker_count(requested: int | None = None) -> int:
+    """Bounded default for service worker pools.
+
+    ``ThreadPoolExecutor``'s own default (``cpu+4``, up to 32) multiplies
+    badly with BLAS pools once the dense backend is in play; the service
+    caps at a small constant instead unless the caller asked for more.
+    """
+    if requested is not None:
+        return max(1, int(requested))
+    return min(8, (os.cpu_count() or 1) + 2)

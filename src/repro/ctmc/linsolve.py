@@ -32,6 +32,7 @@ counters.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable
 from dataclasses import dataclass
 from typing import Any
@@ -41,6 +42,12 @@ from scipy import sparse
 from scipy.sparse import linalg as sparse_linalg
 
 from repro.ctmc.ctmc import CTMC, CTMCError, as_state_mask
+from repro.ctmc.engines import (
+    DENSE_SOLVE_LIMIT,
+    DenseFactorization,
+    SparseFactorization,
+    normalise_engine_mode,
+)
 
 
 def subset_signature(mask: np.ndarray) -> bytes:
@@ -71,38 +78,57 @@ class LinearSolveStats:
     columns:
         Right-hand-side columns pushed through those solves; the gap between
         ``columns`` and ``factorizations`` is what RHS stacking amortises.
+    dense_factorizations:
+        How many of ``factorizations`` used the dense LAPACK LU (small
+        restricted systems under the ``auto``/``dense`` engine modes)
+        instead of ``splu``; always ``<= factorizations``.
+    equivalent_nnz:
+        Non-zeros of the systems factorized, summed over builds.  Dense
+        factorizations report the *sparse* non-zero count of the source
+        system, keeping the unit backend-invariant (the linear-solve analog
+        of ``UniformizationStats.equivalent_nnz``).
+    factor_seconds, solve_seconds:
+        Wall-clock seconds spent building factorizations / running
+        triangular (or LAPACK) solves.
     """
 
     factorizations: int = 0
     solves: int = 0
     columns: int = 0
+    dense_factorizations: int = 0
+    equivalent_nnz: int = 0
+    factor_seconds: float = 0.0
+    solve_seconds: float = 0.0
 
     def reset(self) -> None:
         self.factorizations = 0
         self.solves = 0
         self.columns = 0
+        self.dense_factorizations = 0
+        self.equivalent_nnz = 0
+        self.factor_seconds = 0.0
+        self.solve_seconds = 0.0
 
     def absorb(self, other: "LinearSolveStats") -> None:
         self.factorizations += other.factorizations
         self.solves += other.solves
         self.columns += other.columns
+        self.dense_factorizations += other.dense_factorizations
+        self.equivalent_nnz += other.equivalent_nnz
+        self.factor_seconds += other.factor_seconds
+        self.solve_seconds += other.solve_seconds
 
 
-class Factorization:
-    """One ``splu`` factorization, reusable for stacked right-hand sides."""
+class Factorization(SparseFactorization):
+    """One ``splu`` factorization, reusable for stacked right-hand sides.
 
-    __slots__ = ("_lu", "shape")
+    Retained name of the legacy class; the implementation moved to
+    :class:`repro.ctmc.engines.SparseFactorization` so the engine layer and
+    this solver share it (and its dense LAPACK sibling,
+    :class:`repro.ctmc.engines.DenseFactorization`).
+    """
 
-    def __init__(self, matrix: sparse.spmatrix) -> None:
-        csc = sparse.csc_matrix(matrix)
-        if csc.shape[0] != csc.shape[1]:
-            raise CTMCError("only square systems can be factorized")
-        self._lu = sparse_linalg.splu(csc)
-        self.shape = csc.shape
-
-    def solve(self, rhs: np.ndarray) -> np.ndarray:
-        """Solve for one ``(n,)`` vector or a stacked ``(n, k)`` column block."""
-        return self._lu.solve(np.asarray(rhs, dtype=float))
+    __slots__ = ()
 
 
 class SolverEngine:
@@ -124,15 +150,24 @@ class SolverEngine:
     stats:
         Optional shared :class:`LinearSolveStats`; the analysis session and
         the scenario service aggregate several engines into one object.
+    mode:
+        Engine mode for factorizations.  ``"auto"`` (the default) uses the
+        dense LAPACK LU for systems of order ≤
+        :data:`repro.ctmc.engines.DENSE_SOLVE_LIMIT` and ``splu`` beyond;
+        ``"sparse"``/``"numba"`` always ``splu``; ``"dense"`` always LAPACK.
+        Forced (non-``auto``) modes prefix their cache tokens so they never
+        collide with the shared ``auto`` entries in a process-wide cache.
     """
 
     def __init__(
         self,
         artifacts: Any | None = None,
         stats: LinearSolveStats | None = None,
+        mode: str = "auto",
     ) -> None:
         self.artifacts = artifacts
         self.stats = stats if stats is not None else LinearSolveStats()
+        self.mode = normalise_engine_mode(mode)
         self._local: dict[tuple, Any] = {}
 
     # ------------------------------------------------------------------
@@ -150,10 +185,30 @@ class SolverEngine:
             self._local[token] = factory()
         return self._local[token]
 
-    def build_factorization(self, matrix: sparse.spmatrix) -> Factorization:
-        """Factorize ``matrix`` unconditionally (counted, never cached)."""
+    def build_factorization(
+        self, matrix: sparse.spmatrix
+    ) -> SparseFactorization | DenseFactorization:
+        """Factorize ``matrix`` unconditionally (counted, never cached).
+
+        The backend follows :attr:`mode`; either way the build counts once
+        in ``stats.factorizations``, so factorization-count gates are
+        backend-invariant.
+        """
+        size = matrix.shape[0]
+        use_dense = self.mode == "dense" or (
+            self.mode == "auto" and size <= DENSE_SOLVE_LIMIT
+        )
+        started = time.perf_counter()
+        factorization: SparseFactorization | DenseFactorization
+        if use_dense:
+            factorization = DenseFactorization(matrix)
+            self.stats.dense_factorizations += 1
+        else:
+            factorization = Factorization(matrix)
         self.stats.factorizations += 1
-        return Factorization(matrix)
+        self.stats.equivalent_nnz += factorization.nnz
+        self.stats.factor_seconds += time.perf_counter() - started
+        return factorization
 
     def factorization(
         self,
@@ -167,6 +222,8 @@ class SolverEngine:
         callers here always derive it from a system-family prefix plus the
         :func:`subset_signature` of the restricted state set.
         """
+        if self.mode != "auto":
+            token = self.mode.encode() + b"|" + token
         return self.cached(
             "factorization",
             (chain.fingerprint, token),
@@ -178,7 +235,10 @@ class SolverEngine:
         rhs = np.asarray(rhs, dtype=float)
         self.stats.solves += 1
         self.stats.columns += 1 if rhs.ndim == 1 else rhs.shape[1]
-        return factorization.solve(rhs)
+        started = time.perf_counter()
+        solution = factorization.solve(rhs)
+        self.stats.solve_seconds += time.perf_counter() - started
+        return solution
 
 
 # ----------------------------------------------------------------------

@@ -40,6 +40,7 @@ so no per-``k`` Python scalar work remains on the hot path.
 from __future__ import annotations
 
 import threading
+import time
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
@@ -47,6 +48,7 @@ import numpy as np
 from scipy import sparse
 
 from repro.ctmc.ctmc import CTMC, CTMCError
+from repro.ctmc.engines import Engine, EngineSelector, SparseEngine
 from repro.ctmc.foxglynn import FoxGlynnWeights, fox_glynn
 
 #: Default truncation error for the Poisson mixture.
@@ -54,6 +56,12 @@ DEFAULT_EPSILON = 1e-10
 
 #: Number of ``π₀·Pᵏ`` vectors buffered per weight-application step.
 DEFAULT_BLOCK_SIZE = 64
+
+#: Below this many elements per power vector (``num_states × columns``) the
+#: reward fold is buffered and contracted once per block: on quotient-sized
+#: chains the per-step GEMM *dispatch* overhead dwarfs its flops.  Above it
+#: the extra buffer copy costs more memory bandwidth than the saved calls.
+BLOCK_FOLD_ELEMENT_LIMIT = 4096
 
 
 @dataclass
@@ -79,18 +87,31 @@ class UniformizationStats:
     sweeps:
         Number of vector-power sweeps (one per engine invocation with a
         non-trivial grid).
+    equivalent_nnz:
+        Equivalent non-zeros traversed by operator applications:
+        ``Σ applies × nnz(source CSR operator)``.  Dense GEMMs report the
+        *source* CSR non-zero count (see
+        :class:`repro.ctmc.engines.Engine`), so this unit — like
+        ``sparse_flops`` — stays comparable across backends instead of
+        silently bypassing the perf-bench gates.
+    sweep_seconds:
+        Wall-clock seconds spent inside the vector-power sweeps.
     """
 
     matvecs: int = 0
     applies: int = 0
     sparse_flops: int = 0
     sweeps: int = 0
+    equivalent_nnz: int = 0
+    sweep_seconds: float = 0.0
 
     def reset(self) -> None:
         self.matvecs = 0
         self.applies = 0
         self.sparse_flops = 0
         self.sweeps = 0
+        self.equivalent_nnz = 0
+        self.sweep_seconds = 0.0
 
     def add(self, other: "UniformizationStats") -> None:
         """Accumulate another counter object into this one."""
@@ -98,6 +119,8 @@ class UniformizationStats:
         self.applies += other.applies
         self.sparse_flops += other.sparse_flops
         self.sweeps += other.sweeps
+        self.equivalent_nnz += other.equivalent_nnz
+        self.sweep_seconds += other.sweep_seconds
 
 
 #: Process-wide counters, updated by every sweep.  Benchmarks read deltas of
@@ -188,6 +211,7 @@ def poisson_mixture_sweep(
     collect_mixtures: bool = True,
     stats: UniformizationStats | None = None,
     block_size: int = DEFAULT_BLOCK_SIZE,
+    engine: Engine | None = None,
 ) -> tuple[np.ndarray | None, np.ndarray | None]:
     """Walk ``v_{k+1} = operator @ v_k`` once and accumulate Poisson mixtures.
 
@@ -202,6 +226,17 @@ def poisson_mixture_sweep(
     one sparse mat–mat product per step, sharing the operator traversal
     across all columns.  ``rewards`` may likewise be a single vector
     ``(dimension,)`` or a matrix ``(dimension, m)`` of ``m`` reward columns.
+
+    ``engine`` selects the numeric backend for the walk (see
+    :mod:`repro.ctmc.engines`); when ``None`` the legacy CSR path is used
+    (``operator`` wrapped in a float64 :class:`~repro.ctmc.engines.SparseEngine`
+    — bit-exact with the pre-engine code).  When an engine is given,
+    ``operator`` may be ``None``.  A float32 engine walks the powers in
+    float32 with a per-step column-mass renormalization — only valid for
+    column-stochastic operators (every forward uniformized operator is; the
+    backward interval sweep must stay float64) — while window folds and
+    reward accumulators stay float64, keeping results within ``1e-6`` of
+    the float64 lane.
 
     Returns
     -------
@@ -270,27 +305,85 @@ def poisson_mixture_sweep(
         else None
     )
 
-    operator_nnz = (
-        int(operator.nnz) if sparse.issparse(operator) else int(np.count_nonzero(operator))
+    if engine is None:
+        if operator is None:
+            raise CTMCError("poisson_mixture_sweep needs an operator or an engine")
+        engine = SparseEngine(operator)
+    equivalent_nnz = engine.equivalent_nnz
+    dtype = engine.dtype
+    # The float32 lane renormalizes each power's column mass against the
+    # exact (float64) starting mass — valid because the forward operator is
+    # column-stochastic — which keeps the accumulated rounding drift well
+    # under the documented 1e-6 contract.  float64 walks untouched.
+    renormalize = dtype == np.float32
+    column_masses = (
+        np.sum(block_rows, axis=1, dtype=np.float64) if renormalize else None
     )
+
+    started = time.perf_counter()
     performed = 0
-    vectors = np.ascontiguousarray(block_rows.T)  # (dimension, columns)
+    # (dimension, columns) private walk buffer.  Must be a *copy*: dense and
+    # numba backends write operator applications into the ping-pong pair, and
+    # a (1, n) transpose is already C-contiguous, so ascontiguousarray would
+    # alias the caller's block and the walk would clobber it.
+    vectors = np.array(block_rows.T, dtype=dtype, order="C")
+    scratch = engine.new_scratch(vectors)  # ping-pong partner (dense backends)
+    # Reward folding strategy: small power vectors buffer the whole block and
+    # contract it in one call (dispatch-overhead regime); large ones keep the
+    # per-step fold so no (block, dimension, columns) copy is ever made.
+    block_fold_rewards = reward_matrix is not None and (
+        collect_mixtures or dimension * num_columns <= BLOCK_FOLD_ELEMENT_LIMIT
+    )
+    step_fold_rewards = reward_matrix is not None and not block_fold_rewards
+    need_buffer = collect_mixtures or block_fold_rewards
     for block_start in range(0, right_max + 1, block_size):
         block_stop = min(block_start + block_size, right_max + 1)
+        steps = block_stop - block_start
         buffered = (
-            np.empty((block_stop - block_start, dimension, num_columns))
-            if collect_mixtures
+            np.empty((steps, dimension, num_columns), dtype=dtype)
+            if need_buffer
             else None
         )
-        for offset, k in enumerate(range(block_start, block_stop)):
-            if buffered is not None:
-                buffered[offset] = vectors
-            if reward_sequence_acc is not None:
-                reward_sequence_acc[k] = vectors.T @ reward_matrix
-            if k < right_max:
-                vectors = operator @ vectors
-                performed += 1
+        if buffered is not None and not renormalize:
+            # Whole-block walk through the engine primitive: backends that
+            # can stream powers straight into the buffer (dense GEMM) skip
+            # every per-step copy and dispatch of the generic loop below.
+            advance_final = block_stop - 1 < right_max
+            vectors, scratch = engine.power_block(
+                vectors, buffered, scratch, advance_final
+            )
+            performed += steps - 1 + (1 if advance_final else 0)
+        else:
+            for offset, k in enumerate(range(block_start, block_stop)):
+                if buffered is not None:
+                    buffered[offset] = vectors
+                if step_fold_rewards:
+                    reward_sequence_acc[k] = vectors.T @ reward_matrix
+                if k < right_max:
+                    advanced = engine.apply_operator(vectors, out=scratch)
+                    if advanced is scratch and scratch is not None:
+                        scratch = vectors
+                    vectors = advanced
+                    performed += 1
+                    if renormalize:
+                        sums = np.sum(vectors, axis=0, dtype=np.float64)
+                        scale = np.divide(
+                            column_masses,
+                            sums,
+                            out=np.ones_like(sums),
+                            where=sums != 0.0,
+                        )
+                        vectors *= scale.astype(dtype)
         if buffered is None:
+            continue
+        if block_fold_rewards:
+            # One (L·B, dimension) × (dimension, m) GEMM per block replaces
+            # L tiny per-step products; the contraction order per entry is
+            # unchanged, so the numerics match the per-step fold.
+            reward_sequence_acc[block_start:block_stop] = np.tensordot(
+                buffered, reward_matrix, axes=(1, 0)
+            )
+        if not collect_mixtures:
             continue
         for index, window in enumerate(windows):
             lo = max(window.left, block_start)
@@ -302,13 +395,16 @@ def poisson_mixture_sweep(
                     axes=(0, 0),
                 )
 
+    elapsed = time.perf_counter() - started
     with _STATS_LOCK:
         for counters in (ENGINE_STATS, stats):
             if counters is not None:
                 counters.matvecs += performed * num_columns
                 counters.applies += performed
-                counters.sparse_flops += performed * operator_nnz * num_columns
+                counters.sparse_flops += performed * equivalent_nnz * num_columns
                 counters.sweeps += 1
+                counters.equivalent_nnz += performed * equivalent_nnz
+                counters.sweep_seconds += elapsed
 
     mixtures = (
         _squeeze_mixtures(np.swapaxes(mixtures_acc, 1, 2)) if collect_mixtures else None
@@ -332,6 +428,9 @@ def evaluate_grid_block(
     block_size: int = DEFAULT_BLOCK_SIZE,
     window_lookup: WindowLookup | None = None,
     operator_lookup: OperatorLookup | None = None,
+    engine: str | Engine | None = None,
+    dtype: np.dtype | str | None = None,
+    selector: EngineSelector | None = None,
 ) -> BlockGridResult:
     """Evaluate a whole (initials × times × rewards) block in one sweep.
 
@@ -346,6 +445,13 @@ def evaluate_grid_block(
     and the forward operator are obtained (see :data:`WindowLookup` /
     :data:`OperatorLookup`); they exist so a process-wide artifact cache can
     serve both without this module depending on it.
+
+    ``engine`` picks the numeric backend for the sweep — a mode string from
+    :data:`repro.ctmc.engines.ENGINE_MODES` (``"auto"`` resolved through
+    ``selector``, or a fresh :class:`repro.ctmc.engines.EngineSelector`
+    when none is given) or a prebuilt :class:`repro.ctmc.engines.Engine`.
+    ``dtype`` selects the float32/float64 sweep lane.  Leaving all three at
+    ``None`` runs the legacy float64 CSR path bit-exactly.
 
     The grid may be unsorted and contain duplicates and ``t = 0``.
     """
@@ -403,6 +509,21 @@ def evaluate_grid_block(
     else:
         transposed, q = chain.uniformized_transpose()
 
+    engine_obj: Engine | None
+    if isinstance(engine, Engine):
+        engine_obj = engine
+    elif engine is not None or dtype is not None:
+        chooser = selector if selector is not None else EngineSelector()
+        engine_obj = chooser.engine_for(
+            chain,
+            transposed,
+            q,
+            mode="sparse" if engine is None else engine,
+            dtype=dtype,
+        )
+    else:
+        engine_obj = None  # legacy float64 CSR path, bit-exact
+
     unique_times, inverse = np.unique(times_array, return_inverse=True)
     positive = np.flatnonzero(unique_times > 0.0)
     make_window = fox_glynn if window_lookup is None else window_lookup
@@ -417,6 +538,7 @@ def evaluate_grid_block(
         collect_mixtures=distributions,
         stats=local,
         block_size=block_size,
+        engine=engine_obj,
     )
     if stats is not None:
         stats.add(local)

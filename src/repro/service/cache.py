@@ -24,6 +24,13 @@ kind               key
                    absorption-probability matrix
 ``embedded``       (chain fingerprint,) — the embedded (jump-chain)
                    transition matrix
+``dense_operator`` (chain fingerprint, uniformization rate, dtype name) —
+                   the densified forward operator the
+                   :class:`repro.ctmc.engines.DenseEngine` GEMM walk uses;
+                   stored with a byte-size-aware weight (see below)
+``engine``         (chain fingerprint, dtype name) — the backend the
+                   :class:`repro.ctmc.engines.EngineSelector` resolved for
+                   ``engine="auto"``
 =================  ===================================================
 
 The first four families are populated by the uniformization (transient)
@@ -42,6 +49,14 @@ The cache is thread-safe (the scenario service executes independent groups
 on a worker pool) and deliberately caches *negative* quotient results
 (``None`` — nothing collapsed) so repeat runs skip the refinement as well.
 :data:`GLOBAL_ARTIFACTS` is the process-wide default instance.
+
+**Weighted eviction.**  ``max_entries`` was tuned for CSR-sized artifacts;
+a densified operator can be orders of magnitude larger, so entries carry a
+*weight* (default 1) and eviction bounds the **total weight** rather than
+the raw entry count.  Dense operators weigh
+``ceil(nbytes / DENSE_WEIGHT_UNIT_BYTES)`` — one unit per CSR-operator-
+equivalent — so a handful of big ``toarray()`` results cannot silently
+blow the LRU budget while ordinary artifacts keep their one-slot cost.
 """
 
 from __future__ import annotations
@@ -57,8 +72,13 @@ import numpy as np
 from repro.ctmc.ctmc import CTMC
 from repro.ctmc.foxglynn import FoxGlynnWeights, fox_glynn
 
-#: Default bound on the number of cached artifacts (all kinds combined).
+#: Default bound on the total cached-artifact weight (all kinds combined);
+#: ordinary artifacts weigh 1, so for them this is an entry count.
 DEFAULT_MAX_ENTRIES = 1024
+
+#: One eviction-weight unit for byte-weighted artifacts — roughly the
+#: memory footprint of one case-study CSR operator.
+DENSE_WEIGHT_UNIT_BYTES = 256 * 1024
 
 #: Sentinel distinguishing "never computed" from a cached ``None`` artifact.
 _ABSENT = object()
@@ -138,21 +158,30 @@ class ArtifactCache:
     Parameters
     ----------
     max_entries:
-        Upper bound on the number of stored artifacts across all kinds;
-        least-recently-used entries are evicted beyond it.
+        Upper bound on the total stored-artifact *weight* across all kinds
+        (ordinary artifacts weigh 1, so for them this is an entry count);
+        least-recently-used entries are evicted beyond it.  The most
+        recent entry is always kept, even when it alone exceeds the budget.
     """
 
     def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be at least 1")
         self.max_entries = int(max_entries)
-        self._entries: OrderedDict[tuple, Any] = OrderedDict()
+        self._entries: OrderedDict[tuple, tuple[Any, int]] = OrderedDict()
+        self._total_weight = 0
         self._stats: dict[str, CacheKindStats] = {}
         self._lock = threading.Lock()
         self._building: dict[tuple, threading.Lock] = {}
 
     # ------------------------------------------------------------------
-    def get_or_create(self, kind: str, key: tuple, factory: Callable[[], Any]) -> Any:
+    def get_or_create(
+        self,
+        kind: str,
+        key: tuple,
+        factory: Callable[[], Any],
+        weight: int | Callable[[Any], int] = 1,
+    ) -> Any:
         """Return the cached artifact for ``(kind, key)``, building it on miss.
 
         Exactly-once construction without a global stall: the cache-wide
@@ -160,23 +189,27 @@ class ArtifactCache:
         *per-key* build lock — concurrent lookups of the same key wait for
         the one build (and then count a hit: nothing was recomputed), but
         builds of unrelated keys proceed in parallel on the worker pool.
+
+        ``weight`` is the entry's eviction cost (an int, or a callable
+        applied to the freshly built value — used for byte-size-aware
+        accounting of dense arrays).
         """
         full_key = (kind, key)
         with self._lock:
             stats = self._stats.setdefault(kind, CacheKindStats())
-            value = self._entries.get(full_key, _ABSENT)
-            if value is not _ABSENT:
+            entry = self._entries.get(full_key, _ABSENT)
+            if entry is not _ABSENT:
                 stats.hits += 1
                 self._entries.move_to_end(full_key)
-                return value
+                return entry[0]
             build_lock = self._building.setdefault(full_key, threading.Lock())
         with build_lock:
             with self._lock:
-                value = self._entries.get(full_key, _ABSENT)
-                if value is not _ABSENT:  # a racing thread built it meanwhile
+                entry = self._entries.get(full_key, _ABSENT)
+                if entry is not _ABSENT:  # a racing thread built it meanwhile
                     stats.hits += 1
                     self._entries.move_to_end(full_key)
-                    return value
+                    return entry[0]
             try:
                 value = factory()
             except BaseException:
@@ -185,12 +218,15 @@ class ArtifactCache:
                 with self._lock:
                     self._building.pop(full_key, None)
                 raise
+            cost = max(1, int(weight(value) if callable(weight) else weight))
             with self._lock:
                 stats.misses += 1
-                self._entries[full_key] = value
+                self._entries[full_key] = (value, cost)
+                self._total_weight += cost
                 self._building.pop(full_key, None)
-                while len(self._entries) > self.max_entries:
-                    evicted_key, _ = self._entries.popitem(last=False)
+                while self._total_weight > self.max_entries and len(self._entries) > 1:
+                    evicted_key, (_, evicted_cost) = self._entries.popitem(last=False)
+                    self._total_weight -= evicted_cost
                     self._stats.setdefault(
                         evicted_key[0], CacheKindStats()
                     ).evictions += 1
@@ -200,10 +236,17 @@ class ArtifactCache:
         with self._lock:
             return len(self._entries)
 
+    @property
+    def total_weight(self) -> int:
+        """Current total eviction weight of all stored entries."""
+        with self._lock:
+            return self._total_weight
+
     def clear(self) -> None:
         """Drop all entries (counters are kept)."""
         with self._lock:
             self._entries.clear()
+            self._total_weight = 0
 
     def stats(self) -> CacheStats:
         """A consistent snapshot of the per-kind counters."""
@@ -264,6 +307,34 @@ class ArtifactCache:
             "foxglynn",
             (float(rate_product), float(epsilon)),
             lambda: fox_glynn(rate_product, epsilon),
+        )
+
+    def dense_operator(
+        self,
+        chain: CTMC,
+        rate: float,
+        dtype_name: str,
+        factory: Callable[[], np.ndarray],
+    ) -> np.ndarray:
+        """The densified forward operator for the dense GEMM backend.
+
+        Weighted by byte size (one unit per :data:`DENSE_WEIGHT_UNIT_BYTES`)
+        so a few large ``toarray()`` results cannot crowd out the rest of
+        the budget that was tuned for CSR-sized artifacts.
+        """
+        return self.get_or_create(
+            "dense_operator",
+            (chain.fingerprint, float(rate), str(dtype_name)),
+            factory,
+            weight=lambda value: -(-int(value.nbytes) // DENSE_WEIGHT_UNIT_BYTES),
+        )
+
+    def engine_choice(
+        self, chain: CTMC, dtype_name: str, factory: Callable[[], str]
+    ) -> str:
+        """The backend the auto selector resolved for ``(chain, dtype)``."""
+        return self.get_or_create(
+            "engine", (chain.fingerprint, str(dtype_name)), factory
         )
 
 

@@ -55,6 +55,7 @@ from repro.analysis import (
     execution_units,
     normalise_request,
 )
+from repro.ctmc.engines import default_worker_count, normalise_engine_mode
 from repro.ctmc.linsolve import LinearSolveStats
 from repro.ctmc.uniformization import DEFAULT_EPSILON, UniformizationStats
 from repro.service.cache import GLOBAL_ARTIFACTS, ArtifactCache, CacheStats
@@ -265,7 +266,9 @@ class ServiceStats:
             "matvecs_total": self.session.matvecs,
             "applies_total": self.session.applies,
             "sparse_flops_total": self.session.sparse_flops,
+            "equivalent_nnz_total": self.session.equivalent_nnz,
             "factorizations_total": self.session.factorizations,
+            "dense_factorizations_total": self.session.dense_factorizations,
             "linear_solves_total": self.session.linear_solves,
             "solved_columns_total": self.session.solved_columns,
             "lumped_groups_total": self.session.lumped_groups,
@@ -341,10 +344,20 @@ class ScenarioService:
         :data:`repro.service.GLOBAL_ARTIFACTS`.  Pass a fresh cache for
         isolated measurements.
     max_workers:
-        Worker threads executing independent groups concurrently.
+        Worker threads executing independent groups concurrently; ``None``
+        uses :func:`repro.ctmc.engines.default_worker_count`, which bounds
+        the pool so dense-BLAS kernels running on the workers cannot
+        oversubscribe the machine.
     registry:
         Scenario registry backing :meth:`submit_scenario`; defaults to the
         paper's figure families (:func:`repro.service.paper_registry`).
+    engine:
+        Default numeric backend for submissions that do not set one — one
+        of :data:`repro.ctmc.engines.ENGINE_MODES` (``None`` = process
+        default, normally ``"auto"``).
+    dtype:
+        Default sweep lane (``"float64"``/``"float32"``) for submissions
+        that do not set one (``None`` = process default).
     """
 
     def __init__(
@@ -360,6 +373,8 @@ class ScenarioService:
         artifacts: ArtifactCache | None = None,
         max_workers: int | None = None,
         registry: ScenarioRegistry | None = None,
+        engine: str | None = None,
+        dtype=None,
     ) -> None:
         if coalesce_window < 0:
             raise ValueError("coalesce_window must be non-negative")
@@ -380,9 +395,12 @@ class ScenarioService:
         self.default_epsilon = float(epsilon)
         self.artifacts = artifacts if artifacts is not None else GLOBAL_ARTIFACTS
         self.registry = registry if registry is not None else paper_registry()
+        self.engine = None if engine is None else normalise_engine_mode(engine)
+        self.dtype = dtype
         self.stats = ServiceStats()
+        self.max_workers = default_worker_count(max_workers)
         self._pool = ThreadPoolExecutor(
-            max_workers=max_workers, thread_name_prefix="repro-service"
+            max_workers=self.max_workers, thread_name_prefix="repro-service"
         )
         self._pending: list[_Pending] = []
         self._arrival: asyncio.Event | None = None
@@ -660,6 +678,8 @@ class ScenarioService:
                 batched=self.batched,
                 default_epsilon=self.default_epsilon,
                 artifacts=self.artifacts,
+                default_engine=self.engine,
+                default_dtype=self.dtype,
             )
         return survivors, rejected, plan
 

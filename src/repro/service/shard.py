@@ -57,7 +57,16 @@ from typing import Any
 
 import multiprocessing
 
+import os
+
 from repro.analysis import MeasureRequest, MeasureResult
+from repro.ctmc.engines import (
+    BLAS_ENV_VARS,
+    blas_thread_budget,
+    normalise_dtype,
+    pin_blas_threads,
+    restore_blas_threads,
+)
 from repro.ctmc.uniformization import DEFAULT_EPSILON
 from repro.service.cache import DEFAULT_MAX_ENTRIES, ArtifactCache, CacheStats
 from repro.service.dispatcher import (
@@ -126,6 +135,8 @@ async def _shard_worker(
         epsilon=config["epsilon"],
         artifacts=ArtifactCache(config["max_entries"]),
         max_workers=config["max_workers"],
+        engine=config.get("engine"),
+        dtype=config.get("dtype"),
     )
     loop = asyncio.get_running_loop()
     tasks: set[asyncio.Task] = set()
@@ -162,11 +173,24 @@ async def _shard_worker(
             if kind == "shutdown":
                 break
             if kind == "stats":
+                # Thread accounting rides along so the front (and the
+                # oversubscription regression test) can verify a dense run
+                # stays within budget: worker-pool bound, live thread count
+                # and the BLAS pin this process inherited at spawn.
+                threads = {
+                    "pool_max_workers": service.max_workers,
+                    "active_threads": threading.active_count(),
+                    "blas_env": {
+                        variable: os.environ.get(variable)
+                        for variable in BLAS_ENV_VARS
+                    },
+                }
                 snapshot = pickle.dumps(
                     (
                         service.stats,
                         service.cache_stats(),
                         service.artifacts.chain_fingerprints(),
+                        threads,
                     )
                 )
                 responses.put(("stats", message[1], snapshot))
@@ -200,6 +224,9 @@ class ShardSnapshot:
     service: ServiceStats | None = None
     cache: CacheStats | None = None
     fingerprints: frozenset[str] = frozenset()
+    #: Worker thread accounting: pool bound, live thread count and the BLAS
+    #: environment pin the process inherited (oversubscription guard).
+    threads: dict | None = None
 
 
 @dataclass
@@ -267,6 +294,12 @@ class ShardedScenarioService:
     start_method:
         ``multiprocessing`` start method; ``spawn`` (the default) keeps
         workers free of inherited interpreter state.
+    engine, dtype:
+        Default numeric backend and sweep lane forwarded to every worker's
+        service (see :class:`ScenarioService`).  When the workers may take
+        the dense-BLAS path, the front pins the BLAS thread count to
+        :func:`repro.ctmc.engines.blas_thread_budget` around the spawns so
+        N shards never oversubscribe the machine N-fold.
 
     Use as an async context manager::
 
@@ -289,6 +322,8 @@ class ShardedScenarioService:
         max_entries: int = DEFAULT_MAX_ENTRIES,
         registry: ScenarioRegistry | None = None,
         start_method: str = "spawn",
+        engine: str | None = None,
+        dtype=None,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be at least 1")
@@ -313,6 +348,8 @@ class ShardedScenarioService:
             "epsilon": float(epsilon),
             "max_entries": int(max_entries),
             "max_workers": max_workers,
+            "engine": engine,
+            "dtype": None if dtype is None else normalise_dtype(dtype).name,
         }
         self._start_method = start_method
         self._shards: list[_Shard] = []
@@ -343,16 +380,28 @@ class ShardedScenarioService:
         self._started = True
         self._loop = asyncio.get_running_loop()
         context = multiprocessing.get_context(self._start_method)
-        for index in range(self.num_shards):
-            requests = context.Queue()
-            responses = context.Queue()
-            process = context.Process(
-                target=_shard_worker_main,
-                args=(index, requests, responses, self._worker_config),
-                daemon=True,
-                name=f"repro-shard-{index}",
-            )
-            process.start()
+        # BLAS pools size themselves from the environment once, at library
+        # load; pinning around the spawns means each of the N workers gets
+        # 1/N of the cores instead of N full-sized pools (oversubscription
+        # guard for the dense engine).  The parent's own environment is
+        # restored afterwards.
+        previous_blas = pin_blas_threads(blas_thread_budget(self.num_shards))
+        try:
+            spawned = []
+            for index in range(self.num_shards):
+                requests = context.Queue()
+                responses = context.Queue()
+                process = context.Process(
+                    target=_shard_worker_main,
+                    args=(index, requests, responses, self._worker_config),
+                    daemon=True,
+                    name=f"repro-shard-{index}",
+                )
+                process.start()
+                spawned.append((index, process, requests, responses))
+        finally:
+            restore_blas_threads(previous_blas)
+        for index, process, requests, responses in spawned:
             shard = _Shard(
                 index=index, process=process, requests=requests, responses=responses
             )
@@ -631,7 +680,7 @@ class ShardedScenarioService:
             shard.inflight[request_id] = (future, None)
             try:
                 shard.requests.put(("stats", request_id))
-                service, cache, fingerprints = await asyncio.wait_for(
+                service, cache, fingerprints, threads = await asyncio.wait_for(
                     future, timeout
                 )
             except (asyncio.TimeoutError, ShardCrashed, ServiceClosed):
@@ -644,6 +693,7 @@ class ShardedScenarioService:
                 service=service,
                 cache=cache,
                 fingerprints=frozenset(fingerprints),
+                threads=threads,
             )
 
         return list(await asyncio.gather(*(snapshot(s) for s in self._shards)))

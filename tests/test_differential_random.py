@@ -34,6 +34,9 @@ from repro.ctmc.linsolve import reachability_reward_reference
 NUM_CHAINS = 60
 TOLERANCE = 1e-10
 
+#: Accuracy contract of the float32 sweep lane (see repro.ctmc.engines).
+F32_TOLERANCE = 1e-6
+
 
 # ---------------------------------------------------------------------------
 # seeded model generator
@@ -174,9 +177,15 @@ def reference_longrun_expectation(chain: CTMC, observable: np.ndarray) -> float:
 # ---------------------------------------------------------------------------
 # the differential harness
 # ---------------------------------------------------------------------------
-def _session_values(chain: CTMC, spec: dict, lump: bool) -> dict[str, np.ndarray]:
+def _session_values(
+    chain: CTMC,
+    spec: dict,
+    lump: bool,
+    engine: str | None = None,
+    dtype: str | None = None,
+) -> dict[str, np.ndarray]:
     """All four measures of one chain through a single batched session."""
-    session = AnalysisSession(lump=lump)
+    session = AnalysisSession(lump=lump, engine=engine, dtype=dtype)
     indices = {
         "bounded": session.request(
             chain,
@@ -249,6 +258,34 @@ def test_session_agrees_with_references(seed: int, lump: bool) -> None:
         values["reach_reward"][0],
         reachability_reward_reference(chain, spec["rewards"], spec["target"]),
     )
+
+
+@pytest.mark.parametrize("dtype", ["float64", "float32"])
+@pytest.mark.parametrize("seed", range(NUM_CHAINS))
+def test_dtype_lanes_agree_with_legacy_path(seed: int, dtype: str) -> None:
+    """The engine-selected lanes reproduce the legacy float64 CSR numerics.
+
+    ``engine="auto"`` routes every chain through the pluggable backend layer
+    (dense BLAS below the crossover, CSR above); the float64 lane must stay
+    within the harness tolerance of the legacy path and the float32 lane
+    within its documented 1e-6 contract.
+    """
+    chain, spec = random_ctmc(seed)
+    legacy = _session_values(chain, spec, lump=False)
+    values = _session_values(chain, spec, lump=False, engine="auto", dtype=dtype)
+    tolerance = TOLERANCE if dtype == "float64" else F32_TOLERANCE
+    for name, expected in legacy.items():
+        actual = np.asarray(values[name], dtype=float)
+        expected = np.asarray(expected, dtype=float)
+        both_infinite = ~np.isfinite(actual) & ~np.isfinite(expected)
+        difference = np.abs(
+            np.where(both_infinite, 0.0, actual)
+            - np.where(both_infinite, 0.0, expected)
+        )
+        assert np.all(difference <= tolerance), (
+            f"seed {seed}: {name} ({dtype}) deviates from the legacy lane by "
+            f"{float(np.max(difference))!r}"
+        )
 
 
 def test_generator_produces_the_advertised_population() -> None:
