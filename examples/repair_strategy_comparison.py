@@ -6,6 +6,10 @@ or two crews) it reports the state-space size and the steady-state
 availability of both process lines, and combines the lines into the overall
 facility availability.
 
+All availabilities are submitted to **one** :class:`repro.analysis.AnalysisSession`
+so the whole table shares cached BSCC decompositions, stationary solves and
+LU factorizations; the session's work counters are printed at the end.
+
 Run with::
 
     python examples/repair_strategy_comparison.py [--fast]
@@ -15,10 +19,11 @@ Run with::
 
 import argparse
 
+from repro.analysis import AnalysisSession
 from repro.arcade import build_state_space
 from repro.casestudy import PAPER_STRATEGIES, build_line1, build_line2
 from repro.casestudy.reporting import format_table
-from repro.measures import combined_availability, steady_state_availability
+from repro.measures import combined_availability, steady_state_availability_request
 
 
 def main() -> None:
@@ -26,20 +31,42 @@ def main() -> None:
     parser.add_argument("--fast", action="store_true", help="analyse Line 2 only")
     args = parser.parse_args()
 
+    # Build every state space, queue every availability on one session, and
+    # only then execute: the session groups the requests and reuses cached
+    # solver artifacts across strategies.
+    session = AnalysisSession()
+    spaces: dict[tuple[str, str], object] = {}
+    indices: dict[tuple[str, str], int] = {}
+    lines = ("line2",) if args.fast else ("line1", "line2")
+    builders = {"line1": build_line1, "line2": build_line2}
+    for configuration in PAPER_STRATEGIES:
+        for line in lines:
+            space = build_state_space(
+                builders[line](configuration.strategy, configuration.crews)
+            )
+            key = (configuration.label, line)
+            spaces[key] = space
+            indices[key] = session.add(
+                steady_state_availability_request(space, tag=key)
+            )
+    results = session.execute()
+
+    def availability(label: str, line: str) -> float:
+        return float(results[indices[(label, line)]].squeezed[0])
+
     rows = []
     for configuration in PAPER_STRATEGIES:
-        line2 = build_state_space(build_line2(configuration.strategy, configuration.crews))
-        availability2 = steady_state_availability(line2)
+        label = configuration.label
+        line2 = spaces[(label, "line2")]
+        availability2 = availability(label, "line2")
         if args.fast:
-            rows.append(
-                (configuration.label, line2.num_states, line2.num_transitions, availability2)
-            )
+            rows.append((label, line2.num_states, line2.num_transitions, availability2))
             continue
-        line1 = build_state_space(build_line1(configuration.strategy, configuration.crews))
-        availability1 = steady_state_availability(line1)
+        line1 = spaces[(label, "line1")]
+        availability1 = availability(label, "line1")
         rows.append(
             (
-                configuration.label,
+                label,
                 line1.num_states,
                 line1.num_transitions,
                 line2.num_states,
@@ -73,6 +100,7 @@ def main() -> None:
         "repair needs one crew per component; among the realistic strategies the two-crew "
         "variants come within a fraction of a percent of it."
     )
+    print(f"\n[{session.stats.summary()}]")
 
 
 if __name__ == "__main__":

@@ -13,6 +13,16 @@ Usage examples::
     python -m repro serve --http 8080    # HTTP front end (POST /scenario)
     python -m repro serve --http 8080 --shards 2 --max-pending 256 \
         --timeout 30                     # sharded, with backpressure
+    python -m repro optimize --line 1 --objective survivability
+    python -m repro optimize --line 2 --objective availability --crews 1
+
+``serve --http`` drains gracefully on SIGTERM/SIGINT: the listener closes,
+in-flight requests finish through the service's ``close(drain=True)`` path,
+and new requests are answered ``503`` until the process exits.
+
+``optimize`` treats repair assignment as a CTMDP (see ``repro.optimize``):
+policy iteration for long-run objectives, coalesced rollout for
+finite-horizon ones, with the paper's fixed strategies as baselines.
 
 Every experiment name matches the table/figure numbering of the paper; see
 DESIGN.md for the experiment index.
@@ -37,6 +47,7 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import signal
 import sys
 from pathlib import Path
 
@@ -296,6 +307,16 @@ def build_serve_parser() -> argparse.ArgumentParser:
             "timeout (HTTP: 504; default: none)"
         ),
     )
+    parser.add_argument(
+        "--max-connections",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "with --http: cap concurrent client connections at N; excess "
+            "connections get an immediate 503 + Retry-After (default: unbounded)"
+        ),
+    )
     return parser
 
 
@@ -335,7 +356,12 @@ def serve_http_main(args: argparse.Namespace) -> int:
                 dtype="float32" if args.float32 else None,
             )
         async with service:
-            server = ScenarioHTTPServer(service, host=args.host, port=args.http)
+            server = ScenarioHTTPServer(
+                service,
+                host=args.host,
+                port=args.http,
+                max_connections=args.max_connections,
+            )
             await server.start()
             host, port = server.address
             backend = (
@@ -345,11 +371,33 @@ def serve_http_main(args: argparse.Namespace) -> int:
             print("  POST /scenario   e.g. curl -d '{\"name\": \"fig4_5\"}' "
                   f"http://{host}:{port}/scenario")
             print(f"  GET  /registry   GET  /metrics")
+            # Graceful drain: SIGTERM/SIGINT stop the accept loop, in-flight
+            # requests finish (new ones get 503), then the ``async with``
+            # exit runs the service's close(drain=True) path.
+            stop = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            registered: list[int] = []
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    loop.add_signal_handler(signum, stop.set)
+                    registered.append(signum)
+                except (NotImplementedError, RuntimeError, ValueError):
+                    pass  # platform/loop without signal-handler support
             try:
-                await server.serve_forever()
+                if registered:
+                    await stop.wait()
+                    print(
+                        "signal received; draining (in-flight requests finish, "
+                        "new requests get 503)"
+                    )
+                    await server.drain()
+                else:  # fall back to KeyboardInterrupt via asyncio.run
+                    await server.serve_forever()
             except asyncio.CancelledError:
                 pass
             finally:
+                for signum in registered:
+                    loop.remove_signal_handler(signum)
                 await server.close()
 
     try:
@@ -440,6 +488,10 @@ def main(argv: list[str] | None = None) -> int:
         argv = sys.argv[1:]
     if argv and argv[0] == "serve":
         return serve_main(argv[1:])
+    if argv and argv[0] == "optimize":
+        from repro.optimize.cli import optimize_main
+
+        return optimize_main(argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     points = args.points if args.points is not None else (21 if args.fast else 101)

@@ -1,0 +1,157 @@
+"""Expansion of the ``OPTIMIZED`` scenario family into measure requests.
+
+The scenario registry's ``optimized_survivability`` /
+``optimized_accumulated_cost`` measures report *optimized-vs-fixed* curves:
+for each (line, disaster[, service interval]) cell the rollout optimizer
+runs once (memoized process-wide, like the case-study state-space cache),
+and the expansion emits one ordinary measure request per fixed-strategy
+policy plus one for the optimized policy — all on induced chains of the
+same CTMDP, tagged ``(scenario, line, disaster[, interval], label)`` with
+the optimized curve labelled ``"OPT"``.  The scenario service then
+evaluates them like any other family (coalesced sweeps, warm artifact
+cache), so repeat expansions cost one optimizer memo lookup and cached
+sweeps.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.analysis import MeasureKind, MeasureRequest
+from repro.casestudy.experiments import line_service_interval_lower
+from repro.casestudy.facility import build_line
+from repro.optimize.ctmdp import RepairCTMDP, RepairPolicy
+from repro.optimize.rollout import RolloutResult, default_candidates, rollout_optimize
+
+#: Optimizer grid resolution (the reported curve uses the spec's own grid).
+_OPTIMIZER_POINTS = 25
+
+_lock = threading.Lock()
+_cache: dict[tuple, tuple[RepairCTMDP, dict[str, RepairPolicy], RolloutResult]] = {}
+
+
+def clear_cache() -> None:
+    """Drop memoized optimizations (tests)."""
+    with _lock:
+        _cache.clear()
+
+
+def optimized_policies(
+    line: str,
+    objective: str,
+    disaster: str,
+    interval_index: int | None,
+    horizon: float,
+) -> tuple[RepairCTMDP, dict[str, RepairPolicy], RolloutResult]:
+    """The memoized (CTMDP, fixed policies, rollout result) of one cell."""
+    key = (line, objective, disaster, interval_index, float(horizon))
+    with _lock:
+        hit = _cache.get(key)
+    if hit is not None:
+        return hit
+    ctmdp = RepairCTMDP(build_line(line))
+    threshold = (
+        line_service_interval_lower(line, interval_index)
+        if interval_index is not None
+        else None
+    )
+    result = rollout_optimize(
+        ctmdp,
+        objective,
+        disaster=disaster,
+        horizon=horizon,
+        threshold=threshold,
+        points=_OPTIMIZER_POINTS,
+    )
+    fixed = default_candidates(ctmdp)
+    entry = (ctmdp, fixed, result)
+    with _lock:
+        _cache.setdefault(key, entry)
+        entry = _cache[key]
+    return entry
+
+
+def _policy_request(
+    ctmdp: RepairCTMDP,
+    policy: RepairPolicy,
+    *,
+    objective: str,
+    disaster: str,
+    threshold,
+    grid: np.ndarray,
+    tag: tuple,
+) -> MeasureRequest:
+    chain = ctmdp.induced_chain(policy)
+    initial = np.zeros(ctmdp.num_states)
+    initial[ctmdp.disaster_state(disaster)] = 1.0
+    if objective == "survivability":
+        return MeasureRequest(
+            chain=chain,
+            times=grid,
+            kind=MeasureKind.REACHABILITY,
+            target=ctmdp.states_with_service_at_least(threshold),
+            initial_distributions=initial,
+            tag=tag,
+        )
+    return MeasureRequest(
+        chain=chain,
+        times=grid,
+        kind=MeasureKind.CUMULATIVE_REWARD,
+        rewards=ctmdp.policy_cost(policy),
+        initial_distributions=initial,
+        tag=tag,
+    )
+
+
+def expand_optimized(spec, grid: np.ndarray) -> list[MeasureRequest]:
+    """Measure requests for an ``optimized_*`` scenario spec (see module doc)."""
+    objective = (
+        "survivability"
+        if spec.measure == "optimized_survivability"
+        else "accumulated_cost"
+    )
+    requests: list[MeasureRequest] = []
+    for line in spec.lines:
+        for disaster in spec.disasters:
+            intervals = spec.interval_indices if objective == "survivability" else (None,)
+            for interval_index in intervals:
+                ctmdp, fixed, result = optimized_policies(
+                    line, objective, disaster, interval_index, spec.horizon
+                )
+                threshold = (
+                    line_service_interval_lower(line, interval_index)
+                    if interval_index is not None
+                    else None
+                )
+                cell = (
+                    (spec.name, line, disaster, interval_index)
+                    if interval_index is not None
+                    else (spec.name, line, disaster)
+                )
+                wanted = [c.label for c in spec.strategies if c.label in fixed]
+                for label in wanted:
+                    requests.append(
+                        _policy_request(
+                            ctmdp,
+                            fixed[label],
+                            objective=objective,
+                            disaster=disaster,
+                            threshold=threshold,
+                            grid=grid,
+                            tag=(*cell, label),
+                        )
+                    )
+                requests.append(
+                    _policy_request(
+                        ctmdp,
+                        result.policy,
+                        objective=objective,
+                        disaster=disaster,
+                        threshold=threshold,
+                        grid=grid,
+                        tag=(*cell, "OPT"),
+                    )
+                )
+    return requests

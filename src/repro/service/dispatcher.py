@@ -481,9 +481,19 @@ class ScenarioService:
 
         What ``GET /metrics`` of the HTTP front end serves for a
         single-process service (the sharded service aggregates one of these
-        per shard).
+        per shard).  Optimizer counters ride along whenever the policy
+        optimizer has run in this process.
         """
-        return self.stats.metrics() + "\n" + self.cache_stats().metrics() + "\n"
+        from repro.optimize.stats import global_optimizer_stats
+
+        return (
+            self.stats.metrics()
+            + "\n"
+            + self.cache_stats().metrics()
+            + "\n"
+            + global_optimizer_stats().metrics()
+            + "\n"
+        )
 
     # ------------------------------------------------------------------
     # submission API

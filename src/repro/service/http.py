@@ -108,15 +108,32 @@ class ScenarioHTTPServer:
     host, port:
         Bind address; port ``0`` picks an ephemeral port (see
         :attr:`address` after :meth:`start`) — what the tests use.
+    max_connections:
+        Cap on concurrently served client connections.  A connection beyond
+        the cap is answered ``503`` (with ``Retry-After``) and closed before
+        any request bytes are read, so a slow-loris client cannot pin the
+        server's handler tasks.  ``None`` (default) leaves it unbounded.
     """
 
-    def __init__(self, service: Any, host: str = "127.0.0.1", port: int = 0) -> None:
+    def __init__(
+        self,
+        service: Any,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_connections: int | None = None,
+    ) -> None:
         self.service = service
         self._host = host
         self._port = port
+        self._max_connections = max_connections
         self._server: asyncio.AbstractServer | None = None
+        self._active_connections = 0
+        self._draining = False
+        self._idle = asyncio.Event()
         #: (method path, status) -> count; appended to /metrics.
         self.request_counts: Counter[tuple[str, int]] = Counter()
+        #: Connections rejected by the ``max_connections`` cap.
+        self.rejected_connections = 0
 
     # ------------------------------------------------------------------
     async def start(self) -> None:
@@ -124,6 +141,36 @@ class ScenarioHTTPServer:
         self._server = await asyncio.start_server(
             self._handle_client, self._host, self._port
         )
+
+    @property
+    def draining(self) -> bool:
+        """Whether :meth:`begin_drain` has been called."""
+        return self._draining
+
+    @property
+    def active_connections(self) -> int:
+        """Client connections currently being served."""
+        return self._active_connections
+
+    def begin_drain(self) -> None:
+        """Stop accepting connections; pending requests get ``503``.
+
+        The listening sockets close immediately (no new TCP connections),
+        and every request parsed after this point — including requests on
+        established keep-alive connections — is answered ``503`` with
+        ``Connection: close``.  Requests already dispatched to the backing
+        service finish normally; await :meth:`drain` for them.
+        """
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+
+    async def drain(self) -> None:
+        """:meth:`begin_drain` and wait for in-flight connections to finish."""
+        self.begin_drain()
+        if self._active_connections:
+            self._idle.clear()
+            await self._idle.wait()
 
     @property
     def address(self) -> tuple[str, int]:
@@ -150,79 +197,24 @@ class ScenarioHTTPServer:
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        over_cap = (
+            self._max_connections is not None
+            and self._active_connections >= self._max_connections
+        )
+        if not over_cap:
+            self._active_connections += 1
         try:
-            while True:
-                try:
-                    request_line = await reader.readline()
-                except ValueError:  # line beyond the StreamReader limit
-                    await self._write_response(
-                        writer, 400, "text/plain", b"request line too long", False
-                    )
-                    break
-                if not request_line or request_line in (b"\r\n", b"\n"):
-                    break
-                try:
-                    method, raw_path, version = (
-                        request_line.decode("latin-1").strip().split(" ", 2)
-                    )
-                except ValueError:
-                    await self._write_response(
-                        writer, 400, "text/plain", b"malformed request line", False
-                    )
-                    break
-                headers: dict[str, str] = {}
-                malformed_headers = False
-                while True:
-                    try:
-                        line = await reader.readline()
-                    except ValueError:  # header line beyond the reader limit
-                        malformed_headers = True
-                        break
-                    if line in (b"\r\n", b"\n", b""):
-                        break
-                    if len(headers) >= MAX_HEADER_LINES:
-                        malformed_headers = True
-                        break
-                    name, _, value = line.decode("latin-1").partition(":")
-                    headers[name.strip().lower()] = value.strip()
-                if malformed_headers:
-                    await self._write_response(
-                        writer, 400, "text/plain", b"too many or oversized headers", False
-                    )
-                    break
-                keep_alive = (
-                    version.upper() == "HTTP/1.1"
-                    and headers.get("connection", "").lower() != "close"
+            if over_cap:
+                # Reject before reading any bytes: a slow-loris client never
+                # gets to hold a handler beyond this response.
+                self.rejected_connections += 1
+                self.request_counts[("connection", 503)] += 1
+                status, content_type, body = self._json_error(
+                    503, "connection limit reached"
                 )
-                try:
-                    length = int(headers.get("content-length", "0") or "0")
-                except ValueError:
-                    length = -1
-                if length < 0:
-                    status, content_type, body = (
-                        400,
-                        "text/plain; charset=utf-8",
-                        b"malformed Content-Length",
-                    )
-                    keep_alive = False
-                elif length > MAX_BODY_BYTES:
-                    status, content_type, body = (
-                        413,
-                        "text/plain; charset=utf-8",
-                        b"request body too large",
-                    )
-                    keep_alive = False
-                else:
-                    body_bytes = await reader.readexactly(length) if length else b""
-                    status, content_type, body = await self._dispatch(
-                        method, raw_path, body_bytes
-                    )
-                self.request_counts[(f"{method} {raw_path.partition('?')[0]}", status)] += 1
-                await self._write_response(
-                    writer, status, content_type, body, keep_alive
-                )
-                if not keep_alive:
-                    break
+                await self._write_response(writer, status, content_type, body, False)
+            else:
+                await self._serve_connection(reader, writer)
         except (
             asyncio.IncompleteReadError,
             ConnectionResetError,
@@ -230,11 +222,100 @@ class ScenarioHTTPServer:
         ):  # client went away mid-request; nothing to answer
             pass
         finally:
+            if not over_cap:
+                self._active_connections -= 1
+                if self._active_connections == 0:
+                    self._idle.set()
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
                 pass
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """The keep-alive request loop of one accepted connection."""
+        while True:
+            try:
+                request_line = await reader.readline()
+            except ValueError:  # line beyond the StreamReader limit
+                await self._write_response(
+                    writer, 400, "text/plain", b"request line too long", False
+                )
+                break
+            if not request_line or request_line in (b"\r\n", b"\n"):
+                break
+            try:
+                method, raw_path, version = (
+                    request_line.decode("latin-1").strip().split(" ", 2)
+                )
+            except ValueError:
+                await self._write_response(
+                    writer, 400, "text/plain", b"malformed request line", False
+                )
+                break
+            headers: dict[str, str] = {}
+            malformed_headers = False
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:  # header line beyond the reader limit
+                    malformed_headers = True
+                    break
+                if line in (b"\r\n", b"\n", b""):
+                    break
+                if len(headers) >= MAX_HEADER_LINES:
+                    malformed_headers = True
+                    break
+                name, _, value = line.decode("latin-1").partition(":")
+                headers[name.strip().lower()] = value.strip()
+            if malformed_headers:
+                await self._write_response(
+                    writer, 400, "text/plain", b"too many or oversized headers", False
+                )
+                break
+            keep_alive = (
+                version.upper() == "HTTP/1.1"
+                and headers.get("connection", "").lower() != "close"
+            )
+            try:
+                length = int(headers.get("content-length", "0") or "0")
+            except ValueError:
+                length = -1
+            if self._draining:
+                # Drain mode: established (keep-alive) connections may still
+                # deliver requests after the listener closed; refuse them
+                # without reading the body and close the connection.
+                status, content_type, body = self._json_error(
+                    503, "server is draining; no new requests accepted"
+                )
+                keep_alive = False
+            elif length < 0:
+                status, content_type, body = (
+                    400,
+                    "text/plain; charset=utf-8",
+                    b"malformed Content-Length",
+                )
+                keep_alive = False
+            elif length > MAX_BODY_BYTES:
+                status, content_type, body = (
+                    413,
+                    "text/plain; charset=utf-8",
+                    b"request body too large",
+                )
+                keep_alive = False
+            else:
+                body_bytes = await reader.readexactly(length) if length else b""
+                status, content_type, body = await self._dispatch(
+                    method, raw_path, body_bytes
+                )
+            self.request_counts[(f"{method} {raw_path.partition('?')[0]}", status)] += 1
+            await self._write_response(
+                writer, status, content_type, body, keep_alive
+            )
+            if not keep_alive:
+                break
 
     async def _write_response(
         self,

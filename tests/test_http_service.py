@@ -250,6 +250,119 @@ class TestErrorMapping:
         assert "boom" in document["error"]
 
 
+class TestConnectionCap:
+    def _factory(self):
+        return ScenarioService(artifacts=ArtifactCache(), coalesce_window=0.0)
+
+    def test_excess_connections_get_503_with_retry_after(self):
+        async def client(host, port, server):
+            # Hold the cap's worth of keep-alive connections open.
+            status, _, _, first = await http_request(
+                host, port, "GET", "/registry", keep_open=True
+            )
+            assert status == 200
+            status, _, _, second = await http_request(
+                host, port, "GET", "/registry", keep_open=True
+            )
+            assert status == 200
+            assert server.active_connections == 2
+            # The connection over the cap is rejected before its request
+            # body is read, with a Retry-After hint, and closed.
+            status, headers, payload, _ = await http_request(
+                host, port, "GET", "/registry"
+            )
+            assert status == 503
+            assert headers.get("retry-after") == "1"
+            assert "connection limit" in json.loads(payload)["error"]
+            assert server.rejected_connections == 1
+            # Releasing a held connection frees a slot.
+            reader, writer = first
+            writer.close()
+            await writer.wait_closed()
+            while server.active_connections > 1:
+                await asyncio.sleep(0.01)
+            status, _, _, _ = await http_request(host, port, "GET", "/registry")
+            assert status == 200
+            reader, writer = second
+            writer.close()
+            await writer.wait_closed()
+
+        async def main():
+            async with self._factory() as service:
+                server = ScenarioHTTPServer(service, max_connections=2)
+                await server.start()
+                host, port = server.address
+                try:
+                    await client(host, port, server)
+                finally:
+                    await server.close()
+
+        asyncio.run(main())
+
+    def test_uncapped_server_accepts_many_connections(self):
+        async def client(host, port, server):
+            pairs = []
+            for _ in range(8):
+                status, _, _, pair = await http_request(
+                    host, port, "GET", "/registry", keep_open=True
+                )
+                assert status == 200
+                pairs.append(pair)
+            assert server.rejected_connections == 0
+            for reader, writer in pairs:
+                writer.close()
+                await writer.wait_closed()
+
+        run_server_test(self._factory, client)
+
+
+class TestGracefulDrain:
+    def _factory(self):
+        return ScenarioService(artifacts=ArtifactCache(), coalesce_window=0.0)
+
+    def test_drain_rejects_new_requests_and_waits_for_idle(self):
+        async def client(host, port, server):
+            status, _, _, pair = await http_request(
+                host, port, "GET", "/registry", keep_open=True
+            )
+            assert status == 200
+            assert not server.draining
+
+            server.begin_drain()
+            assert server.draining
+            # The established keep-alive connection can still talk, but a
+            # new request on it is refused and the connection is closed.
+            status, headers, payload, pair = await http_request(
+                host, port, "GET", "/registry", keep_open=True, reader_writer=pair
+            )
+            assert status == 503
+            assert headers.get("connection") == "close"
+            assert "draining" in json.loads(payload)["error"]
+            reader, writer = pair
+            writer.close()
+            await writer.wait_closed()
+
+            # drain() resolves once every connection has finished.
+            await asyncio.wait_for(server.drain(), timeout=5)
+            assert server.active_connections == 0
+
+            # The listener is closed: no new connections are accepted.
+            with pytest.raises((ConnectionError, OSError, asyncio.TimeoutError)):
+                await asyncio.wait_for(
+                    asyncio.open_connection(host, port), timeout=0.5
+                )
+
+        run_server_test(self._factory, client)
+
+    def test_drain_with_no_connections_returns_immediately(self):
+        async def client(host, port, server):
+            await asyncio.wait_for(server.drain(), timeout=1)
+            assert server.draining
+            assert server.active_connections == 0
+
+        run_server_test(self._factory, client)
+
+
 class TestBackpressureOverHTTP:
     def test_saturated_service_returns_503_then_recovers(self):
         """End-to-end: a real service at max_pending=1 rejects over HTTP."""
