@@ -13,6 +13,8 @@ Usage examples::
     python -m repro serve --http 8080    # HTTP front end (POST /scenario)
     python -m repro serve --http 8080 --shards 2 --max-pending 256 \
         --timeout 30                     # sharded, with backpressure
+    python -m repro serve --http 8080 --shards 2 --restart-limit 5 \
+        --retry-limit 3 --heartbeat-interval 0.5   # tuned supervision
     python -m repro optimize --line 1 --objective survivability
     python -m repro optimize --line 2 --objective availability --crews 1
 
@@ -317,6 +319,58 @@ def build_serve_parser() -> argparse.ArgumentParser:
             "connections get an immediate 503 + Retry-After (default: unbounded)"
         ),
     )
+    parser.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=1.0,
+        metavar="SECONDS",
+        help=(
+            "with --shards: ping each worker this often; a worker silent for "
+            "max(5 intervals, 30s) is deemed wedged, killed and restarted "
+            "(0 disables wedge detection; default: 1.0)"
+        ),
+    )
+    parser.add_argument(
+        "--restart-limit",
+        type=int,
+        default=3,
+        metavar="K",
+        help=(
+            "with --shards: respawn a crashed worker up to K times per "
+            "60s sliding window, then circuit-break the shard "
+            "(0 = fail-fast, no restarts; default: 3)"
+        ),
+    )
+    parser.add_argument(
+        "--retry-limit",
+        type=int,
+        default=2,
+        metavar="K",
+        help=(
+            "with --shards: transparently resubmit a request across up to K "
+            "worker deaths before failing its caller (default: 2)"
+        ),
+    )
+    parser.add_argument(
+        "--shutdown-grace",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help=(
+            "with --shards: wait this long per worker at shutdown before "
+            "terminating it (default: 10)"
+        ),
+    )
+    parser.add_argument(
+        "--snapshot-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help=(
+            "with --shards: deadline for one worker's stats snapshot when "
+            "serving GET /metrics (default: 30)"
+        ),
+    )
     return parser
 
 
@@ -342,6 +396,11 @@ def serve_http_main(args: argparse.Namespace) -> int:
                 registry=paper_registry(),
                 engine=args.engine,
                 dtype="float32" if args.float32 else None,
+                heartbeat_interval=args.heartbeat_interval,
+                restart_limit=args.restart_limit,
+                retry_limit=args.retry_limit,
+                shutdown_grace=args.shutdown_grace,
+                snapshot_timeout=args.snapshot_timeout,
             )
         else:
             service = ScenarioService(

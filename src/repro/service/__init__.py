@@ -13,7 +13,15 @@ the heavy-traffic north star:
 * :class:`ShardedScenarioService` — the multi-process front:
   scenario portfolios partitioned across N spawn workers (one service +
   artifact cache each) with per-shard chain ownership via fingerprint
-  routing and a shared-nothing stats-snapshot protocol for ``/metrics``;
+  routing and a shared-nothing stats-snapshot protocol for ``/metrics``.
+  The front is *supervised*: dead workers respawn with exponential backoff
+  under a restart budget, wedged workers are caught by heartbeat pings,
+  in-flight requests retry transparently and a down shard's chains fail
+  over to the next alive shard;
+* :class:`ChaosPolicy` / :class:`ChaosEvent` — seeded deterministic fault
+  injection (kill/wedge/corrupt/delay/drop) wired into the worker side of
+  the shard protocol, driving the chaos tests and the
+  ``benchmarks/bench_resilience.py`` gate;
 * :class:`ScenarioHTTPServer` — a minimal asyncio HTTP server
   (``POST /scenario``, ``GET /registry``, ``GET /metrics``) over either
   front (``python -m repro serve --http PORT [--shards N]``);
@@ -36,6 +44,13 @@ from repro.service.cache import (
     ArtifactCache,
     CacheKindStats,
     CacheStats,
+)
+from repro.service.chaos import (
+    CHAOS_ACTIONS,
+    CHAOS_SEED_ENV,
+    ChaosEvent,
+    ChaosPolicy,
+    chaos_seed,
 )
 from repro.service.dispatcher import (
     DEFAULT_COALESCE_WINDOW,
@@ -66,8 +81,12 @@ from repro.service.shard import (
 
 __all__ = [
     "ArtifactCache",
+    "CHAOS_ACTIONS",
+    "CHAOS_SEED_ENV",
     "CacheKindStats",
     "CacheStats",
+    "ChaosEvent",
+    "ChaosPolicy",
     "DEFAULT_COALESCE_WINDOW",
     "DEFAULT_LATENCY_BUCKETS",
     "DEFAULT_MAX_BATCH",
@@ -88,6 +107,7 @@ __all__ = [
     "ShardSnapshot",
     "ShardedScenarioService",
     "ShardedServiceStats",
+    "chaos_seed",
     "paper_registry",
     "shard_for_fingerprint",
 ]

@@ -45,7 +45,7 @@ import warnings
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from functools import partial
-from typing import Any
+from typing import Any, Callable
 
 from repro.analysis import (
     MeasureRequest,
@@ -285,7 +285,10 @@ class ServiceStats:
 
 
 async def await_with_deadline(
-    future: asyncio.Future, timeout: float | None, stats: Any
+    future: asyncio.Future,
+    timeout: float | None,
+    stats: Any,
+    detail: Callable[[], str | None] | None = None,
 ) -> Any:
     """Await a submission future under a per-request deadline.
 
@@ -293,7 +296,9 @@ async def await_with_deadline(
     siblings in the same flush are untouched.  Shared by the in-process
     dispatcher and the sharded front so their timeout semantics (counter,
     exception type, message) cannot drift; ``stats`` only needs a
-    ``timeouts`` attribute.
+    ``timeouts`` attribute.  ``detail``, when given, is called at expiry to
+    append where the request was stuck (e.g. parked behind a shard restart)
+    to the timeout message.
     """
     if timeout is None:
         return await future
@@ -301,9 +306,11 @@ async def await_with_deadline(
         return await asyncio.wait_for(future, timeout)
     except asyncio.TimeoutError:
         stats.timeouts += 1
-        raise ScenarioTimeout(
-            f"scenario request did not complete within {timeout}s"
-        ) from None
+        message = f"scenario request did not complete within {timeout}s"
+        extra = detail() if detail is not None else None
+        if extra:
+            message = f"{message} ({extra})"
+        raise ScenarioTimeout(message) from None
 
 
 @dataclass

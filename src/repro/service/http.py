@@ -39,6 +39,7 @@ from typing import Any
 import numpy as np
 
 from repro.service.dispatcher import QueueFull, ScenarioTimeout
+from repro.service.shard import ShardCrashed
 
 #: Upper bound on accepted request-body sizes.
 MAX_BODY_BYTES = 1 << 20
@@ -361,6 +362,11 @@ class ScenarioHTTPServer:
         except _HTTPError as error:
             return self._json_error(error.status, error.message)
         except QueueFull as error:
+            return self._json_error(503, str(error))
+        except ShardCrashed as error:
+            # Transient by construction: the supervisor is restarting the
+            # worker (or failover will route around it); tell the client to
+            # come back rather than treating this as a server bug.
             return self._json_error(503, str(error))
         except (ScenarioTimeout, asyncio.TimeoutError) as error:
             return self._json_error(504, str(error) or "request deadline expired")

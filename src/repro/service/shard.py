@@ -1,4 +1,4 @@
-"""Sharded multi-process scenario execution with per-shard chain ownership.
+"""Sharded multi-process scenario execution with self-healing supervision.
 
 One :class:`repro.service.ScenarioService` coalesces heavy measure traffic
 inside a single process; :class:`ShardedScenarioService` scales that out
@@ -22,9 +22,41 @@ worker pool.  The design is shared-nothing:
   :class:`~repro.service.QueueFull` once ``max_pending`` requests are in
   flight, and a per-request ``timeout`` abandons only that caller's future
   (the shard keeps computing; a late response is discarded).
-* **Failure isolation** — a crashed or killed worker fails exactly its own
-  in-flight futures with :class:`ShardCrashed`; the remaining shards keep
-  serving, and submissions routed to the dead shard fail fast.
+
+The front is *supervised*, not merely fail-fast — the failure model the
+paper applies to the water-treatment plant (components fail, repair units
+restore them, service degrades instead of collapsing) applied to the
+serving layer itself:
+
+* **Crash supervision** — a worker that exits is respawned with
+  exponential backoff (``backoff_base * 2**k``, capped at ``backoff_cap``).
+  After ``restart_limit`` restarts inside a ``restart_window`` sliding
+  window the shard is *circuit-broken*: permanently down until the service
+  is rebuilt, so a worker crashing in a tight loop cannot consume the
+  front forever.
+* **Wedge detection** — the front pings every worker each
+  ``heartbeat_interval`` seconds over the wire protocol; a worker whose
+  last ``pong`` is older than ``heartbeat_timeout`` is considered
+  wedged-but-alive (``process.join()`` would never fire), terminated, and
+  handed to the same restart path.
+* **Transparent retry** — measure requests are pure, idempotent
+  computations on immutable chains, so requests in flight on a dead worker
+  are *resubmitted* (up to ``retry_limit`` attempts per request, counted in
+  ``stats.retries``) instead of failing the caller.
+  :class:`ShardCrashed` surfaces only once the retry budget is exhausted
+  or no shard can serve the chain.
+* **Degraded-mode failover** — while a shard is restarting or broken, the
+  chains it owns route to the next alive shard in deterministic fallback
+  order (owner ``+1, +2, ...`` modulo N).  Availability holds at the cost
+  of cold caches; ``stats.failovers`` counts the diverted dispatches per
+  owning shard.  Requests with nowhere to go *park* while a restart is
+  pending and are re-dispatched the moment a worker comes back up.
+
+Fault hypotheses are checked, not assumed: a seeded
+:class:`repro.service.chaos.ChaosPolicy` (see :mod:`repro.service.chaos`)
+injects kills, wedges, corrupt/delayed/dropped responses into the worker
+side of the wire protocol, and ``benchmarks/bench_resilience.py`` gates a
+full-portfolio run under a kill-each-shard-once schedule.
 
 The wire protocol is deliberately tiny (tuples over two ``multiprocessing``
 queues per shard, variable parts pre-pickled so serialization errors fail
@@ -35,7 +67,8 @@ parent → worker                           worker → parent
 ========================================  ==================================
 ``("request", id, request_bytes)``        ``("result", id, payload_bytes)``
 ``("stats", id)``                         ``("error", id, exc_bytes, text)``
-``("shutdown",)``                         ``("stats", id, snapshot_bytes)``
+``("ping", id)``                          ``("stats", id, snapshot_bytes)``
+``("shutdown",)``                         ``("pong", id)``
 ========================================  ==================================
 
 Results travel as plain arrays (times, values, group index, lump size) and
@@ -49,6 +82,7 @@ import asyncio
 import itertools
 import pickle
 import threading
+import time
 import queue as queue_module
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -69,6 +103,7 @@ from repro.ctmc.engines import (
 )
 from repro.ctmc.uniformization import DEFAULT_EPSILON
 from repro.service.cache import DEFAULT_MAX_ENTRIES, ArtifactCache, CacheStats
+from repro.service.chaos import DEFAULT_WEDGE_HOLD, ChaosPolicy
 from repro.service.dispatcher import (
     DEFAULT_COALESCE_WINDOW,
     DEFAULT_MAX_BATCH,
@@ -83,15 +118,59 @@ from repro.service.registry import ScenarioRegistry, paper_registry
 #: Default number of worker processes.
 DEFAULT_NUM_SHARDS = 2
 
-#: Seconds a closing front waits for a worker to drain before terminating it.
-_SHUTDOWN_GRACE = 10.0
+#: Default seconds a closing front waits for a worker to drain before
+#: terminating it (constructor knob ``shutdown_grace``).
+DEFAULT_SHUTDOWN_GRACE = 10.0
+
+#: Default deadline for one shard's ``stats`` snapshot reply (constructor
+#: knob ``snapshot_timeout``).
+DEFAULT_SNAPSHOT_TIMEOUT = 30.0
+
+#: Default seconds between heartbeat pings (``None``/``0`` disables).
+DEFAULT_HEARTBEAT_INTERVAL = 1.0
+
+#: Default wedge deadline when ``heartbeat_timeout`` is not given.
+#: Deliberately generous: a *healthy* worker's event loop can be starved
+#: for seconds at a stretch while its pool threads hold the GIL through
+#: heavy sparse kernels, and a tight default would kill healthy workers
+#: under exactly the loads that matter.  Tune it down (with the interval)
+#: when fast wedge detection is worth the false-positive risk.
+DEFAULT_HEARTBEAT_TIMEOUT = 30.0
+
+#: Default restarts allowed inside ``restart_window`` before a shard is
+#: circuit-broken.
+DEFAULT_RESTART_LIMIT = 3
+
+#: Default sliding-window width (seconds) for the restart budget.
+DEFAULT_RESTART_WINDOW = 60.0
+
+#: Default resubmissions of one in-flight request across worker deaths.
+DEFAULT_RETRY_LIMIT = 2
+
+#: Default restart backoff: first respawn after ``backoff_base`` seconds,
+#: doubling per death in the window, capped at ``backoff_cap``.
+DEFAULT_BACKOFF_BASE = 0.25
+DEFAULT_BACKOFF_CAP = 5.0
+
+#: A freshly spawned worker imports numpy/scipy before it can answer its
+#: first ping; heartbeat timeouts below this floor only apply once the
+#: worker has ponged at least once.
+BOOT_GRACE = 30.0
+
+#: Shard lifecycle states (exposed via :class:`ShardSnapshot` / metrics).
+STATE_UP = "up"
+STATE_RESTARTING = "restarting"
+STATE_BROKEN = "broken"
 
 
 class ShardCrashed(RuntimeError):
-    """Raised for futures whose owning worker process died mid-flight.
+    """Raised for requests the supervision layer could not recover.
 
-    Also raised fast by ``submit()`` for chains routed to a shard that is
-    already known to be down — the remaining shards keep serving.
+    Surfaces only after the self-healing machinery is exhausted: the
+    request's retry budget ran out across worker deaths, or no shard (owner
+    or failover candidate) is up or restarting.  The condition is
+    transient from the caller's point of view — the HTTP front maps it to
+    ``503`` with ``Retry-After``.
     """
 
 
@@ -140,8 +219,14 @@ async def _shard_worker(
     )
     loop = asyncio.get_running_loop()
     tasks: set[asyncio.Task] = set()
+    chaos: ChaosPolicy | None = config.get("chaos")
+    generation = config.get("generation", 0)
+    script = (
+        chaos.script_for(shard_index, generation) if chaos is not None else {}
+    )
+    request_count = 0
 
-    async def run_request(request_id: int, payload: bytes) -> None:
+    async def run_request(request_id: int, payload: bytes, event=None) -> None:
         try:
             request = pickle.loads(payload)
             result = await service.submit(request)
@@ -164,14 +249,27 @@ async def _shard_worker(
                 )
             )
         else:
+            if event is not None:
+                if event.action == "drop":
+                    return  # the response vanishes; only a deadline recovers
+                if event.action == "delay":
+                    await asyncio.sleep(event.delay)
+                elif event.action == "corrupt":
+                    body = b"\xff\xfe chaos: corrupted response payload"
             responses.put(("result", request_id, body))
 
     async with service:
+        # Unsolicited readiness pong: the parent's heartbeat monitor knows
+        # boot is over the moment the service is constructed.
+        responses.put(("pong", -1))
         while True:
             message = await loop.run_in_executor(None, requests.get)
             kind = message[0]
             if kind == "shutdown":
                 break
+            if kind == "ping":
+                responses.put(("pong", message[1]))
+                continue
             if kind == "stats":
                 # Thread accounting rides along so the front (and the
                 # oversubscription regression test) can verify a dense run
@@ -195,7 +293,24 @@ async def _shard_worker(
                 )
                 responses.put(("stats", message[1], snapshot))
                 continue
-            task = loop.create_task(run_request(message[1], message[2]))
+            # kind == "request": the only message class chaos schedules key
+            # on, so heartbeats and stats probes never shift a schedule.
+            request_count += 1
+            event = script.get(request_count)
+            if event is not None:
+                if event.action == "kill":
+                    os._exit(event.exit_code)
+                if event.action == "wedge":
+                    # Block the message loop synchronously: the process
+                    # stays alive but stops answering pings — only the
+                    # heartbeat timeout can catch this.  If the supervisor
+                    # never kills us (heartbeats disabled), serve the
+                    # request normally after the hold.
+                    time.sleep(event.delay or DEFAULT_WEDGE_HOLD)
+                    event = None
+                elif event.action not in ("corrupt", "delay", "drop"):
+                    event = None  # pragma: no cover - future-proofing
+            task = loop.create_task(run_request(message[1], message[2], event))
             tasks.add(task)
             task.add_done_callback(tasks.discard)
         if tasks:
@@ -227,6 +342,12 @@ class ShardSnapshot:
     #: Worker thread accounting: pool bound, live thread count and the BLAS
     #: environment pin the process inherited (oversubscription guard).
     threads: dict | None = None
+    #: Supervision state: ``up``, ``restarting`` or ``broken``.
+    state: str = STATE_UP
+    #: Worker incarnation (0 = initial spawn; +1 per supervisor restart).
+    generation: int = 0
+    #: Restarts the supervisor performed for this shard so far.
+    restarts: int = 0
 
 
 @dataclass
@@ -242,7 +363,18 @@ class ShardedServiceStats:
     failed: int = 0
     rejected: int = 0
     timeouts: int = 0
+    #: In-flight requests transparently resubmitted after a worker death.
+    retries: int = 0
+    #: Submissions rejected because no shard (owner or failover) could
+    #: serve them — the dead-shard fast-fail path.
+    routed_dead: int = 0
     routed: dict[int, int] = field(default_factory=dict)
+    #: Supervisor restarts per shard index.
+    restarts: dict[int, int] = field(default_factory=dict)
+    #: Dispatches diverted away from an owning shard, per owner index.
+    failovers: dict[int, int] = field(default_factory=dict)
+    #: Wedge detections (heartbeat timeouts that led to a kill), per shard.
+    heartbeat_misses: dict[int, int] = field(default_factory=dict)
 
     def summary(self) -> str:
         """One line for CLI output and logs."""
@@ -252,27 +384,66 @@ class ShardedServiceStats:
         return (
             f"sharded: submissions={self.submissions} completed={self.completed} "
             f"failed={self.failed} rejected={self.rejected} "
-            f"timeouts={self.timeouts} routed: {per_shard or '(none)'}"
+            f"timeouts={self.timeouts} retries={self.retries} "
+            f"routed_dead={self.routed_dead} "
+            f"restarts={sum(self.restarts.values())} "
+            f"failovers={sum(self.failovers.values())} "
+            f"heartbeat_misses={sum(self.heartbeat_misses.values())} "
+            f"routed: {per_shard or '(none)'}"
         )
 
 
 @dataclass
+class _Inflight:
+    """One tracked submission: the caller's future plus retry bookkeeping.
+
+    ``request is None`` marks control-plane probes (stats snapshots): they
+    are never retried or failed over, only failed when their shard dies.
+    """
+
+    future: asyncio.Future
+    request: MeasureRequest | None
+    payload: bytes | None = None
+    #: Resubmissions consumed so far (0 = first dispatch).
+    attempts: int = 0
+    #: Shard currently executing the request (None while parked).
+    shard_index: int | None = None
+    request_id: int | None = None
+    #: Waiting for a shard restart to be dispatchable again.
+    parked: bool = False
+
+
+@dataclass
 class _Shard:
-    """Parent-side handle of one worker process."""
+    """Parent-side handle of one worker process (and its incarnations)."""
 
     index: int
     process: Any
     requests: Any
     responses: Any
-    inflight: dict[int, tuple[asyncio.Future, MeasureRequest | None]] = field(
-        default_factory=dict
-    )
+    inflight: dict[int, _Inflight] = field(default_factory=dict)
     alive: bool = True
     closing: bool = False
+    #: Supervision state: ``up``, ``restarting`` or ``broken``.
+    state: str = STATE_UP
+    #: Worker incarnation; stale reader/watcher threads compare against it.
+    generation: int = 0
+    #: Whether the current incarnation has answered at least one ping
+    #: (boot grace gates the wedge timeout until then).
+    ready: bool = False
+    #: ``time.monotonic()`` of the last pong (initialised to spawn time).
+    last_pong: float = 0.0
+    #: Set by the heartbeat monitor just before it kills a wedged worker,
+    #: so the exit handler can attribute the death correctly.
+    wedged: bool = False
+    #: Monotonic death times inside the current restart window.
+    death_times: list[float] = field(default_factory=list)
+    restart_handle: Any = None
+    restart_task: Any = None
 
 
 class ShardedScenarioService:
-    """Scenario portfolios partitioned across N worker processes.
+    """Scenario portfolios partitioned across N supervised worker processes.
 
     Parameters
     ----------
@@ -300,6 +471,34 @@ class ShardedScenarioService:
         the dense-BLAS path, the front pins the BLAS thread count to
         :func:`repro.ctmc.engines.blas_thread_budget` around the spawns so
         N shards never oversubscribe the machine N-fold.
+    heartbeat_interval, heartbeat_timeout:
+        Liveness probing: a ping every ``heartbeat_interval`` seconds; a
+        worker silent for ``heartbeat_timeout`` (default
+        ``max(5 * heartbeat_interval, 30s)`` — generous on purpose, see
+        :data:`DEFAULT_HEARTBEAT_TIMEOUT`) is deemed wedged, killed and
+        restarted.  ``heartbeat_interval=None`` (or 0) disables wedge
+        detection.
+    restart_limit, restart_window:
+        Crash supervision budget: up to ``restart_limit`` respawns inside a
+        ``restart_window``-second sliding window, then the shard is
+        circuit-broken.  ``restart_limit=0`` restores fail-fast behaviour
+        (a dead shard stays dead).
+    retry_limit:
+        Transparent-retry budget per request across worker deaths
+        (``0`` fails in-flight requests immediately, PR-5 style).
+    backoff_base, backoff_cap:
+        Exponential respawn backoff (``base * 2**k`` seconds, capped).
+    failover:
+        Route a down shard's chains to the next alive shard (deterministic
+        owner ``+1, +2, ...`` order) instead of parking/failing them.
+    shutdown_grace:
+        Seconds :meth:`close` waits per worker before terminating it.
+    snapshot_timeout:
+        Default deadline for one shard's ``stats`` reply in
+        :meth:`shard_snapshots` / :meth:`metrics_text`.
+    chaos:
+        Optional :class:`~repro.service.chaos.ChaosPolicy` injected into
+        every worker (tests, benchmarks and drills only).
 
     Use as an async context manager::
 
@@ -324,6 +523,17 @@ class ShardedScenarioService:
         start_method: str = "spawn",
         engine: str | None = None,
         dtype=None,
+        heartbeat_interval: float | None = DEFAULT_HEARTBEAT_INTERVAL,
+        heartbeat_timeout: float | None = None,
+        restart_limit: int = DEFAULT_RESTART_LIMIT,
+        restart_window: float = DEFAULT_RESTART_WINDOW,
+        retry_limit: int = DEFAULT_RETRY_LIMIT,
+        backoff_base: float = DEFAULT_BACKOFF_BASE,
+        backoff_cap: float = DEFAULT_BACKOFF_CAP,
+        failover: bool = True,
+        shutdown_grace: float = DEFAULT_SHUTDOWN_GRACE,
+        snapshot_timeout: float = DEFAULT_SNAPSHOT_TIMEOUT,
+        chaos: ChaosPolicy | None = None,
     ) -> None:
         if num_shards < 1:
             raise ValueError("num_shards must be at least 1")
@@ -331,11 +541,51 @@ class ShardedScenarioService:
             raise ValueError("max_pending must be at least 1 (or None)")
         if default_timeout is not None and default_timeout <= 0:
             raise ValueError("default_timeout must be positive (or None)")
+        if heartbeat_interval is not None and heartbeat_interval < 0:
+            raise ValueError("heartbeat_interval must be >= 0 (0/None disables)")
+        if heartbeat_timeout is not None and heartbeat_timeout <= 0:
+            raise ValueError("heartbeat_timeout must be positive (or None)")
+        if restart_limit < 0:
+            raise ValueError("restart_limit must be >= 0")
+        if restart_window <= 0:
+            raise ValueError("restart_window must be positive")
+        if retry_limit < 0:
+            raise ValueError("retry_limit must be >= 0")
+        if backoff_base <= 0 or backoff_cap <= 0:
+            raise ValueError("backoff_base and backoff_cap must be positive")
+        if shutdown_grace <= 0:
+            raise ValueError("shutdown_grace must be positive")
+        if snapshot_timeout <= 0:
+            raise ValueError("snapshot_timeout must be positive")
+        if chaos is not None and not isinstance(chaos, ChaosPolicy):
+            raise TypeError("chaos must be a ChaosPolicy (or None)")
         self.num_shards = int(num_shards)
         self.max_pending = None if max_pending is None else int(max_pending)
         self.default_timeout = (
             None if default_timeout is None else float(default_timeout)
         )
+        self.heartbeat_interval = (
+            None
+            if heartbeat_interval is None or heartbeat_interval == 0
+            else float(heartbeat_interval)
+        )
+        self.heartbeat_timeout = (
+            float(heartbeat_timeout)
+            if heartbeat_timeout is not None
+            else (
+                None
+                if self.heartbeat_interval is None
+                else max(5.0 * self.heartbeat_interval, DEFAULT_HEARTBEAT_TIMEOUT)
+            )
+        )
+        self.restart_limit = int(restart_limit)
+        self.restart_window = float(restart_window)
+        self.retry_limit = int(retry_limit)
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self.failover = bool(failover)
+        self.shutdown_grace = float(shutdown_grace)
+        self.snapshot_timeout = float(snapshot_timeout)
         self.registry = registry if registry is not None else paper_registry()
         self.stats = ShardedServiceStats(
             routed={index: 0 for index in range(self.num_shards)}
@@ -350,11 +600,14 @@ class ShardedScenarioService:
             "max_workers": max_workers,
             "engine": engine,
             "dtype": None if dtype is None else normalise_dtype(dtype).name,
+            "chaos": chaos,
         }
         self._start_method = start_method
         self._shards: list[_Shard] = []
+        self._parked: list[_Inflight] = []
         self._ids = itertools.count()
         self._loop: asyncio.AbstractEventLoop | None = None
+        self._heartbeat_task: asyncio.Task | None = None
         self._expander = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix="repro-shard-expand"
         )
@@ -393,7 +646,12 @@ class ShardedScenarioService:
                 responses = context.Queue()
                 process = context.Process(
                     target=_shard_worker_main,
-                    args=(index, requests, responses, self._worker_config),
+                    args=(
+                        index,
+                        requests,
+                        responses,
+                        {**self._worker_config, "generation": 0},
+                    ),
                     daemon=True,
                     name=f"repro-shard-{index}",
                 )
@@ -403,21 +661,37 @@ class ShardedScenarioService:
             restore_blas_threads(previous_blas)
         for index, process, requests, responses in spawned:
             shard = _Shard(
-                index=index, process=process, requests=requests, responses=responses
+                index=index,
+                process=process,
+                requests=requests,
+                responses=responses,
+                last_pong=time.monotonic(),
             )
             self._shards.append(shard)
-            threading.Thread(
-                target=self._read_responses,
-                args=(shard,),
-                daemon=True,
-                name=f"repro-shard-{index}-reader",
-            ).start()
-            threading.Thread(
-                target=self._watch_process,
-                args=(shard,),
-                daemon=True,
-                name=f"repro-shard-{index}-watcher",
-            ).start()
+            self._start_shard_threads(shard)
+        if self.heartbeat_interval is not None:
+            self._heartbeat_task = self._loop.create_task(self._heartbeat_loop())
+
+    def _start_shard_threads(self, shard: _Shard) -> None:
+        """Reader/watcher threads for the shard's *current* incarnation.
+
+        Both threads bind the process/queue objects and the generation at
+        start, so threads of a replaced incarnation go stale harmlessly
+        instead of draining the successor's queues.
+        """
+        suffix = f"-g{shard.generation}" if shard.generation else ""
+        threading.Thread(
+            target=self._read_responses,
+            args=(shard, shard.process, shard.responses, shard.generation),
+            daemon=True,
+            name=f"repro-shard-{shard.index}{suffix}-reader",
+        ).start()
+        threading.Thread(
+            target=self._watch_process,
+            args=(shard, shard.process, shard.generation),
+            daemon=True,
+            name=f"repro-shard-{shard.index}{suffix}-watcher",
+        ).start()
 
     async def close(self) -> None:
         """Shut every worker down (draining in-flight work, with a grace cap)."""
@@ -425,8 +699,18 @@ class ShardedScenarioService:
             self._closed = True
             return
         self._closed = True
+        if self._heartbeat_task is not None:
+            self._heartbeat_task.cancel()
+            try:
+                await self._heartbeat_task
+            except asyncio.CancelledError:
+                pass
+            self._heartbeat_task = None
         for shard in self._shards:
             shard.closing = True
+            if shard.restart_handle is not None:
+                shard.restart_handle.cancel()
+                shard.restart_handle = None
             if shard.alive:
                 try:
                     shard.requests.put(("shutdown",))
@@ -434,18 +718,24 @@ class ShardedScenarioService:
                     pass
         assert self._loop is not None
         await self._loop.run_in_executor(None, self._join_workers)
+        closed_error = ServiceClosed(
+            "service closed while the request was in flight"
+        )
         for shard in self._shards:
             shard.alive = False
-            self._fail_inflight(
-                shard, ServiceClosed("service closed while the request was in flight")
-            )
+            self._fail_inflight(shard, closed_error)
+        for entry in self._parked:
+            if not entry.future.done():
+                self.stats.failed += 1
+                entry.future.set_exception(closed_error)
+        self._parked.clear()
         self._expander.shutdown(wait=False)
 
     def _join_workers(self) -> None:
-        deadline = _SHUTDOWN_GRACE
+        deadline = self.shutdown_grace
         for shard in self._shards:
             shard.process.join(timeout=deadline)
-            if shard.process.is_alive():  # pragma: no cover - stuck worker
+            if shard.process.is_alive():
                 shard.process.terminate()
                 shard.process.join(timeout=1.0)
             # Unblock the queue feeder threads so interpreter exit is clean.
@@ -459,28 +749,46 @@ class ShardedScenarioService:
     # ------------------------------------------------------------------
     # background threads
     # ------------------------------------------------------------------
-    def _read_responses(self, shard: _Shard) -> None:
-        """Drain one shard's response queue onto the event loop.
+    def _read_responses(
+        self, shard: _Shard, process: Any, responses: Any, generation: int
+    ) -> None:
+        """Drain one incarnation's response queue onto the event loop.
 
         Payloads are unpickled *here*, on the reader thread, so large value
         arrays and stats snapshots never serialize on the event loop (which
-        also serves HTTP traffic).
+        also serves HTTP traffic).  Pongs short-circuit entirely on this
+        thread: liveness bookkeeping must not queue behind loop callbacks.
         """
         while True:
             try:
-                message = shard.responses.get(timeout=0.25)
+                message = responses.get(timeout=0.25)
             except queue_module.Empty:
-                if shard.closing or not shard.process.is_alive():
+                if (
+                    shard.closing
+                    or shard.generation != generation
+                    or not process.is_alive()
+                ):
                     return
                 continue
-            except (EOFError, OSError):  # pragma: no cover - queue torn down
+            except (EOFError, OSError):  # queue torn down (close or respawn)
                 return
+            if message[0] == "pong":
+                if shard.generation == generation:
+                    shard.last_pong = time.monotonic()
+                    shard.ready = True
+                continue
             message = self._decode_response(shard, message)
             self._call_on_loop(partial(self._handle_response, shard, message))
 
     @staticmethod
     def _decode_response(shard: _Shard, message: tuple) -> tuple:
-        """Unpickle a response's variable part (reader-thread side)."""
+        """Unpickle a response's variable part (reader-thread side).
+
+        A payload that cannot be unpickled — a chaos-corrupted response,
+        a truncated queue write — must fail exactly its own request: the
+        decode error is folded into an ``error`` message for that request
+        id, and the reader thread carries on with the next response.
+        """
         kind, request_id = message[0], message[1]
         try:
             if kind in ("result", "stats"):
@@ -489,7 +797,7 @@ class ShardedScenarioService:
             error_bytes, text = message[2], message[3]
             error = pickle.loads(error_bytes) if error_bytes is not None else None
             return (kind, request_id, error, text)
-        except Exception as decode_error:  # pragma: no cover - defensive
+        except Exception as decode_error:
             return (
                 "error",
                 request_id,
@@ -497,10 +805,10 @@ class ShardedScenarioService:
                 f"undecodable shard {shard.index} response: {decode_error}",
             )
 
-    def _watch_process(self, shard: _Shard) -> None:
-        """Fail a dead shard's in-flight futures the moment it exits."""
-        shard.process.join()
-        self._call_on_loop(partial(self._on_shard_exit, shard))
+    def _watch_process(self, shard: _Shard, process: Any, generation: int) -> None:
+        """Hand a dead incarnation to the supervisor the moment it exits."""
+        process.join()
+        self._call_on_loop(partial(self._on_shard_exit, shard, generation))
 
     def _call_on_loop(self, callback) -> None:
         loop = self._loop
@@ -511,40 +819,291 @@ class ShardedScenarioService:
         except RuntimeError:  # pragma: no cover - loop already closed
             pass
 
-    def _on_shard_exit(self, shard: _Shard) -> None:
+    # ------------------------------------------------------------------
+    # supervision: restart, retry, failover
+    # ------------------------------------------------------------------
+    def _on_shard_exit(self, shard: _Shard, generation: int) -> None:
+        """Supervise one worker death: budget the restart, recover in-flight.
+
+        Runs on the event loop.  The dead incarnation's in-flight requests
+        are resubmitted through :meth:`_dispatch_entry` (failover or park)
+        while their retry budget lasts; control-plane probes and exhausted
+        requests fail with :class:`ShardCrashed`.
+        """
+        if shard.generation != generation:
+            return  # stale watcher of a replaced incarnation
         shard.alive = False
         if shard.closing or self._closed:
             return
-        self._fail_inflight(
-            shard,
-            ShardCrashed(
-                f"shard {shard.index} worker exited with code "
-                f"{shard.process.exitcode} while requests were in flight"
-            ),
+        was_wedged, shard.wedged = shard.wedged, False
+        cause = (
+            "stopped answering heartbeats and was terminated"
+            if was_wedged
+            else f"exited with code {shard.process.exitcode}"
         )
+        entries = list(shard.inflight.values())
+        shard.inflight.clear()
+        now = time.monotonic()
+        deaths = [
+            stamp
+            for stamp in shard.death_times
+            if stamp > now - self.restart_window
+        ]
+        if len(deaths) >= self.restart_limit:
+            shard.state = STATE_BROKEN
+        else:
+            deaths.append(now)
+            shard.state = STATE_RESTARTING
+            delay = min(
+                self.backoff_cap, self.backoff_base * 2.0 ** (len(deaths) - 1)
+            )
+            assert self._loop is not None
+            shard.restart_handle = self._loop.call_later(
+                delay, self._begin_respawn, shard, shard.generation
+            )
+        shard.death_times = deaths
+        for entry in entries:
+            self._recover_entry(entry, shard, cause)
+        if shard.state == STATE_BROKEN:
+            # Chains parked for this shard may have lost their last route.
+            self._drain_parked()
+
+    def _recover_entry(self, entry: _Inflight, shard: _Shard, cause: str) -> None:
+        if entry.future.done():
+            return
+        if entry.request is None:  # control-plane probe: never retried
+            entry.future.set_exception(
+                ShardCrashed(f"shard {shard.index} worker {cause}")
+            )
+            return
+        if entry.attempts >= self.retry_limit:
+            self.stats.failed += 1
+            entry.future.set_exception(
+                ShardCrashed(
+                    f"shard {shard.index} worker {cause}; retry budget "
+                    f"({self.retry_limit}) exhausted"
+                )
+            )
+            return
+        # Measure requests are pure and idempotent: resubmitting one to a
+        # restarted or failover worker recomputes the same values.
+        entry.attempts += 1
+        self.stats.retries += 1
+        try:
+            self._dispatch_entry(entry)
+        except ShardCrashed as error:
+            self.stats.failed += 1
+            entry.future.set_exception(error)
+
+    def _begin_respawn(self, shard: _Shard, generation: int) -> None:
+        shard.restart_handle = None
+        if (
+            self._closed
+            or shard.generation != generation
+            or shard.state != STATE_RESTARTING
+        ):
+            return
+        assert self._loop is not None
+        shard.restart_task = self._loop.create_task(self._respawn(shard))
+
+    async def _respawn(self, shard: _Shard) -> None:
+        """Replace a dead incarnation with a fresh worker process."""
+        next_generation = shard.generation + 1
+        config = {**self._worker_config, "generation": next_generation}
+
+        def spawn():
+            context = multiprocessing.get_context(self._start_method)
+            requests = context.Queue()
+            responses = context.Queue()
+            previous_blas = pin_blas_threads(blas_thread_budget(self.num_shards))
+            try:
+                process = context.Process(
+                    target=_shard_worker_main,
+                    args=(shard.index, requests, responses, config),
+                    daemon=True,
+                    name=f"repro-shard-{shard.index}-g{next_generation}",
+                )
+                process.start()
+            finally:
+                restore_blas_threads(previous_blas)
+            return process, requests, responses
+
+        assert self._loop is not None
+        try:
+            process, requests, responses = await self._loop.run_in_executor(
+                None, spawn
+            )
+        except Exception:  # pragma: no cover - spawn machinery failure
+            shard.state = STATE_BROKEN
+            self._drain_parked()
+            return
+        finally:
+            shard.restart_task = None
+        if self._closed:
+            # Closed while spawning: shut the fresh worker straight down.
+            try:
+                requests.put(("shutdown",))
+            except Exception:  # pragma: no cover
+                pass
+            return
+        # Retire the dead incarnation's queues; its reader thread exits on
+        # the resulting OSError/EOFError (or its next idle tick).
+        for channel in (shard.requests, shard.responses):
+            try:
+                channel.close()
+                channel.cancel_join_thread()
+            except Exception:  # pragma: no cover
+                pass
+        shard.process, shard.requests, shard.responses = (
+            process,
+            requests,
+            responses,
+        )
+        shard.generation = next_generation
+        shard.ready = False
+        shard.last_pong = time.monotonic()
+        shard.wedged = False
+        shard.alive = True
+        shard.state = STATE_UP
+        self.stats.restarts[shard.index] = (
+            self.stats.restarts.get(shard.index, 0) + 1
+        )
+        self._start_shard_threads(shard)
+        self._drain_parked()
+
+    async def _heartbeat_loop(self) -> None:
+        """Ping live shards; kill and restart the ones that stop answering."""
+        assert self.heartbeat_interval is not None
+        assert self.heartbeat_timeout is not None
+        while not self._closed:
+            await asyncio.sleep(self.heartbeat_interval)
+            if self._closed:
+                return
+            now = time.monotonic()
+            for shard in self._shards:
+                if shard.closing or not shard.alive or shard.state != STATE_UP:
+                    continue
+                if shard.wedged:
+                    continue  # already killed; the exit handler is pending
+                limit = self.heartbeat_timeout
+                if not shard.ready:
+                    # A booting worker imports numpy/scipy before its first
+                    # pong; don't mistake a slow import for a wedge.
+                    limit = max(limit, BOOT_GRACE)
+                if now - shard.last_pong > limit:
+                    self.stats.heartbeat_misses[shard.index] = (
+                        self.stats.heartbeat_misses.get(shard.index, 0) + 1
+                    )
+                    shard.wedged = True
+                    try:
+                        shard.process.kill()
+                    except Exception:  # pragma: no cover - already gone
+                        pass
+                    # The process watcher drives the restart path from here.
+                    continue
+                try:
+                    shard.requests.put(("ping", next(self._ids)))
+                except Exception:  # pragma: no cover - queue torn down
+                    pass
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+    def _dispatch_entry(self, entry: _Inflight) -> None:
+        """Route one submission: owner shard, failover candidate, or park.
+
+        Raises :class:`ShardCrashed` when no shard is up *and* none is
+        restarting (every candidate circuit-broken or failover disabled).
+        """
+        assert entry.request is not None
+        owner = shard_for_fingerprint(
+            entry.request.chain.fingerprint, self.num_shards
+        )
+        width = self.num_shards if self.failover else 1
+        target: _Shard | None = None
+        restart_pending = False
+        for offset in range(width):
+            candidate = self._shards[(owner + offset) % self.num_shards]
+            if candidate.alive and candidate.state == STATE_UP:
+                target = candidate
+                break
+            if candidate.state == STATE_RESTARTING:
+                restart_pending = True
+        if target is None:
+            if restart_pending:
+                entry.parked = True
+                entry.shard_index = None
+                entry.request_id = None
+                self._parked.append(entry)
+                return
+            raise ShardCrashed(
+                f"chain {entry.request.chain.fingerprint[:12]}... cannot be "
+                f"served: owner shard {owner} is {self._shards[owner].state} "
+                f"and no failover shard is available"
+            )
+        if target.index != owner:
+            self.stats.failovers[owner] = self.stats.failovers.get(owner, 0) + 1
+        request_id = next(self._ids)
+        entry.parked = False
+        entry.shard_index = target.index
+        entry.request_id = request_id
+        target.inflight[request_id] = entry
+        self.stats.routed[target.index] = (
+            self.stats.routed.get(target.index, 0) + 1
+        )
+        target.requests.put(("request", request_id, entry.payload))
+
+    def _drain_parked(self) -> None:
+        """Re-dispatch parked submissions after a shard state change."""
+        parked, self._parked = self._parked, []
+        for entry in parked:
+            if entry.future.done():
+                continue
+            try:
+                self._dispatch_entry(entry)  # may re-park
+            except ShardCrashed as error:
+                self.stats.failed += 1
+                entry.future.set_exception(error)
+
+    def _discard_entry(self, entry: _Inflight) -> None:
+        """Drop a settled/abandoned submission from wherever it lives now."""
+        if entry.parked:
+            try:
+                self._parked.remove(entry)
+            except ValueError:  # pragma: no cover - raced with a drain
+                pass
+            entry.parked = False
+        elif entry.shard_index is not None and entry.request_id is not None:
+            self._shards[entry.shard_index].inflight.pop(entry.request_id, None)
+
+    def _entry_detail(self, entry: _Inflight) -> str | None:
+        if entry.parked:
+            return "the request was parked waiting for a shard restart"
+        if entry.shard_index is not None:
+            return f"the request was in flight on shard {entry.shard_index}"
+        return None  # pragma: no cover - settled before the deadline fired
 
     def _fail_inflight(self, shard: _Shard, error: BaseException) -> None:
-        for future, request in list(shard.inflight.values()):
-            if not future.done():
-                if request is not None:
+        for entry in list(shard.inflight.values()):
+            if not entry.future.done():
+                if entry.request is not None:
                     self.stats.failed += 1
-                future.set_exception(error)
+                entry.future.set_exception(error)
         shard.inflight.clear()
 
     def _handle_response(self, shard: _Shard, message: tuple) -> None:
         kind, request_id = message[0], message[1]
         entry = shard.inflight.pop(request_id, None)
-        if entry is None:  # deadline expired or shard already failed over
+        if entry is None:  # deadline expired, retried elsewhere, or stale
             return
-        future, request = entry
-        if future.done():
+        if entry.future.done():
             return
         if kind == "result":
             payload = message[2]
             self.stats.completed += 1
-            future.set_result(
+            entry.future.set_result(
                 MeasureResult(
-                    request=request,
+                    request=entry.request,
                     times=payload["times"],
                     values=payload["values"],
                     group_index=payload["group_index"],
@@ -557,9 +1116,9 @@ class ShardedScenarioService:
             if error is None:
                 error = RuntimeError(f"shard {shard.index} request failed: {text}")
             self.stats.failed += 1
-            future.set_exception(error)
+            entry.future.set_exception(error)
         else:  # stats snapshot
-            future.set_result(message[2])
+            entry.future.set_result(message[2])
 
     # ------------------------------------------------------------------
     # submission API (mirrors ScenarioService)
@@ -574,27 +1133,31 @@ class ShardedScenarioService:
             )
 
     def _inflight_count(self) -> int:
-        return sum(
+        dispatched = sum(
             1
             for shard in self._shards
-            for _, request in shard.inflight.values()
-            if request is not None
+            for entry in shard.inflight.values()
+            if entry.request is not None
         )
+        return dispatched + len(self._parked)
 
     def shard_index_for(self, request: MeasureRequest) -> int:
-        """The shard that owns this request's chain."""
+        """The shard that *owns* this request's chain (ignoring failover)."""
         return shard_for_fingerprint(request.chain.fingerprint, self.num_shards)
 
     async def submit(
         self, request: MeasureRequest, timeout: float | None = None
     ) -> MeasureResult:
-        """Route one request to its owning shard and await the result.
+        """Route one request to a shard and await the result.
 
         Semantics match :meth:`ScenarioService.submit`: values are
         bit-comparable to a single-process service (same numerical path,
         executed in the worker), :class:`QueueFull` applies backpressure at
         ``max_pending`` in-flight submissions, and a ``timeout`` abandons
-        only this caller's future.
+        only this caller's future.  Worker deaths are transparent while
+        the retry budget lasts; :class:`ShardCrashed` is raised fast only
+        when no shard can serve the chain at all (counted in
+        ``stats.routed_dead``).
         """
         self._ensure_ready()
         if (
@@ -606,29 +1169,30 @@ class ShardedScenarioService:
                 f"sharded service has {self._inflight_count()} requests in flight "
                 f"(max_pending={self.max_pending}); back off and resubmit"
             )
-        shard = self._shards[self.shard_index_for(request)]
-        if not shard.alive:
-            raise ShardCrashed(
-                f"shard {shard.index} is down; request for chain "
-                f"{request.chain.fingerprint[:12]}... cannot be served"
-            )
         assert self._loop is not None
         # Serializing a chain's sparse matrices is O(transitions); keep it
         # off the event loop, which also serves HTTP traffic.
         payload = await self._loop.run_in_executor(None, pickle.dumps, request)
-        if not shard.alive:  # the worker may have died while we serialized
-            raise ShardCrashed(f"shard {shard.index} is down")
-        request_id = next(self._ids)
-        future: asyncio.Future = self._loop.create_future()
-        shard.inflight[request_id] = (future, request)
+        entry = _Inflight(
+            future=self._loop.create_future(), request=request, payload=payload
+        )
         self.stats.submissions += 1
-        self.stats.routed[shard.index] = self.stats.routed.get(shard.index, 0) + 1
-        shard.requests.put(("request", request_id, payload))
+        try:
+            self._dispatch_entry(entry)
+        except ShardCrashed:
+            self.stats.routed_dead += 1
+            self.stats.failed += 1
+            raise
         timeout = self.default_timeout if timeout is None else timeout
         try:
-            return await await_with_deadline(future, timeout, self.stats)
+            return await await_with_deadline(
+                entry.future,
+                timeout,
+                self.stats,
+                detail=partial(self._entry_detail, entry),
+            )
         finally:
-            shard.inflight.pop(request_id, None)
+            self._discard_entry(entry)
 
     async def submit_many(
         self, requests: list[MeasureRequest], timeout: float | None = None
@@ -667,24 +1231,41 @@ class ShardedScenarioService:
     # ------------------------------------------------------------------
     # shared-nothing stats aggregation
     # ------------------------------------------------------------------
-    async def shard_snapshots(self, timeout: float = 30.0) -> list[ShardSnapshot]:
-        """One :class:`ShardSnapshot` per shard (dead shards marked, not raised)."""
+    def _placeholder_snapshot(self, shard: _Shard) -> ShardSnapshot:
+        return ShardSnapshot(
+            index=shard.index,
+            alive=shard.alive,
+            state=shard.state,
+            generation=shard.generation,
+            restarts=self.stats.restarts.get(shard.index, 0),
+        )
+
+    async def shard_snapshots(
+        self, timeout: float | None = None
+    ) -> list[ShardSnapshot]:
+        """One :class:`ShardSnapshot` per shard (down shards marked, not raised).
+
+        ``timeout`` defaults to the ``snapshot_timeout`` constructor knob.
+        """
         self._ensure_ready()
         assert self._loop is not None
+        timeout = self.snapshot_timeout if timeout is None else timeout
 
         async def snapshot(shard: _Shard) -> ShardSnapshot:
-            if not shard.alive:
-                return ShardSnapshot(index=shard.index, alive=False)
+            if not shard.alive or shard.state != STATE_UP:
+                return self._placeholder_snapshot(shard)
             request_id = next(self._ids)
-            future: asyncio.Future = self._loop.create_future()
-            shard.inflight[request_id] = (future, None)
+            entry = _Inflight(future=self._loop.create_future(), request=None)
+            entry.shard_index = shard.index
+            entry.request_id = request_id
+            shard.inflight[request_id] = entry
             try:
                 shard.requests.put(("stats", request_id))
                 service, cache, fingerprints, threads = await asyncio.wait_for(
-                    future, timeout
+                    entry.future, timeout
                 )
             except (asyncio.TimeoutError, ShardCrashed, ServiceClosed):
-                return ShardSnapshot(index=shard.index, alive=shard.alive)
+                return self._placeholder_snapshot(shard)
             finally:
                 shard.inflight.pop(request_id, None)
             return ShardSnapshot(
@@ -694,6 +1275,9 @@ class ShardedScenarioService:
                 cache=cache,
                 fingerprints=frozenset(fingerprints),
                 threads=threads,
+                state=shard.state,
+                generation=shard.generation,
+                restarts=self.stats.restarts.get(shard.index, 0),
             )
 
         return list(await asyncio.gather(*(snapshot(s) for s in self._shards)))
@@ -703,8 +1287,8 @@ class ShardedScenarioService:
 
         Shard counters are summed into the same ``repro_service_*`` /
         ``repro_cache_*`` series a single-process service exposes (so
-        dashboards work unchanged), followed by front-end routing series
-        with per-shard labels.
+        dashboards work unchanged), followed by front-end routing and
+        supervision series with per-shard labels.
         """
         snapshots = await self.shard_snapshots()
         combined_service = ServiceStats()
@@ -721,6 +1305,8 @@ class ShardedScenarioService:
             "failed_total": self.stats.failed,
             "rejected_total": self.stats.rejected,
             "timeouts_total": self.stats.timeouts,
+            "retries_total": self.stats.retries,
+            "routed_dead_total": self.stats.routed_dead,
         }
         front_lines = []
         for name, value in front.items():
@@ -733,12 +1319,28 @@ class ShardedScenarioService:
                 f'repro_shard_alive{{shard="{snapshot.index}"}} '
                 f"{1 if snapshot.alive else 0}"
             )
+        front_lines.append("# TYPE repro_shard_state gauge")
+        for snapshot in snapshots:
+            front_lines.append(
+                f'repro_shard_state{{shard="{snapshot.index}",'
+                f'state="{snapshot.state}"}} 1'
+            )
         front_lines.append("# TYPE repro_shard_routed_total counter")
         for index in sorted(self.stats.routed):
             front_lines.append(
                 f'repro_shard_routed_total{{shard="{index}"}} '
                 f"{self.stats.routed[index]}"
             )
+        for name, per_shard in (
+            ("repro_shard_restarts_total", self.stats.restarts),
+            ("repro_shard_failovers_total", self.stats.failovers),
+            ("repro_shard_heartbeat_misses_total", self.stats.heartbeat_misses),
+        ):
+            front_lines.append(f"# TYPE {name} counter")
+            for index in range(self.num_shards):
+                front_lines.append(
+                    f'{name}{{shard="{index}"}} {per_shard.get(index, 0)}'
+                )
         front_lines.append("# TYPE repro_shard_owned_chains gauge")
         for snapshot in snapshots:
             front_lines.append(

@@ -23,6 +23,7 @@ from repro.service import (
     ScenarioHTTPServer,
     ScenarioService,
     ScenarioTimeout,
+    ShardCrashed,
     ShardedScenarioService,
     paper_registry,
 )
@@ -243,6 +244,16 @@ class TestErrorMapping:
         status, document, _ = self._run(ScenarioTimeout("deadline expired"))
         assert status == 504
         assert "deadline expired" in document["error"]
+
+    def test_shard_crashed_maps_to_503_with_retry_after(self):
+        # A crashed shard is transient (the supervisor is restarting it),
+        # so callers get 503 + Retry-After, not a generic 500.
+        status, document, headers = self._run(
+            ShardCrashed("shard 1 worker exited with code -9")
+        )
+        assert status == 503
+        assert "shard 1" in document["error"]
+        assert headers.get("retry-after") == "1"
 
     def test_unexpected_failure_maps_to_500(self):
         status, document, _ = self._run(RuntimeError("boom"))

@@ -98,9 +98,15 @@ def baseline(portfolio):
 # ---------------------------------------------------------------------------
 class TestShardedPortfolio:
     def test_two_shard_portfolio_matches_single_process(self, portfolio, baseline):
+        # Heartbeats off: the exact worker-counter bookkeeping asserted
+        # below only holds while no restart ever resets a worker, and this
+        # test injects no faults.
         async def run():
             async with ShardedScenarioService(
-                NUM_SHARDS, coalesce_window=0.05, max_batch=1024
+                NUM_SHARDS,
+                coalesce_window=0.05,
+                max_batch=1024,
+                heartbeat_interval=None,
             ) as sharded:
                 results = await sharded.submit_many(list(portfolio))
                 snapshots = await sharded.shard_snapshots()
@@ -138,7 +144,10 @@ class TestShardedPortfolio:
 
         async def run():
             async with ShardedScenarioService(
-                NUM_SHARDS, coalesce_window=0.05, max_batch=1024
+                NUM_SHARDS,
+                coalesce_window=0.05,
+                max_batch=1024,
+                heartbeat_interval=None,
             ) as sharded:
                 await sharded.submit_many(list(portfolio))
                 snapshots = await sharded.shard_snapshots()
@@ -188,6 +197,48 @@ class TestRouting:
             ShardedScenarioService(2, max_pending=0)
         with pytest.raises(ValueError):
             ShardedScenarioService(2, default_timeout=0.0)
+        with pytest.raises(ValueError):
+            ShardedScenarioService(2, heartbeat_interval=-1.0)
+        with pytest.raises(ValueError):
+            ShardedScenarioService(2, heartbeat_timeout=0.0)
+        with pytest.raises(ValueError):
+            ShardedScenarioService(2, restart_limit=-1)
+        with pytest.raises(ValueError):
+            ShardedScenarioService(2, retry_limit=-1)
+        with pytest.raises(ValueError):
+            ShardedScenarioService(2, restart_window=0.0)
+        with pytest.raises(ValueError):
+            ShardedScenarioService(2, backoff_base=0.0)
+        with pytest.raises(ValueError):
+            ShardedScenarioService(2, shutdown_grace=0.0)
+        with pytest.raises(ValueError):
+            ShardedScenarioService(2, snapshot_timeout=0.0)
+        with pytest.raises(TypeError):
+            ShardedScenarioService(2, chaos="kill shard 0")
+
+    def test_supervision_knobs_stored(self):
+        service = ShardedScenarioService(
+            2,
+            heartbeat_interval=0.5,
+            restart_limit=5,
+            retry_limit=1,
+            shutdown_grace=3.0,
+            snapshot_timeout=7.0,
+        )
+        assert service.heartbeat_interval == 0.5
+        # The derived default never drops below the 30s floor: a tight
+        # timeout would kill healthy-but-GIL-starved workers.
+        assert service.heartbeat_timeout == 30.0
+        assert (
+            ShardedScenarioService(2, heartbeat_interval=10.0).heartbeat_timeout
+            == 50.0
+        )
+        assert service.restart_limit == 5
+        assert service.retry_limit == 1
+        assert service.shutdown_grace == 3.0
+        assert service.snapshot_timeout == 7.0
+        # 0 disables the heartbeat entirely.
+        assert ShardedScenarioService(2, heartbeat_interval=0).heartbeat_interval is None
 
 
 # ---------------------------------------------------------------------------
@@ -221,6 +272,9 @@ class TestFailureIsolation:
         assert stats.completed == 1 and stats.failed == 1
 
     def test_killed_shard_fails_inflight_but_others_keep_serving(self):
+        # Supervision off (restart_limit=0, retry_limit=0, failover=False)
+        # restores the original fail-fast contract: a dead shard fails its
+        # in-flight callers and rejects new traffic immediately.
         # ~seconds of queued work on the victim shard: the kill lands while
         # requests are provably in flight.
         victim_chains = [
@@ -231,7 +285,12 @@ class TestFailureIsolation:
 
         async def run():
             async with ShardedScenarioService(
-                NUM_SHARDS, coalesce_window=0.0
+                NUM_SHARDS,
+                coalesce_window=0.0,
+                restart_limit=0,
+                retry_limit=0,
+                failover=False,
+                heartbeat_interval=None,
             ) as sharded:
                 inflight = [
                     asyncio.ensure_future(
