@@ -20,9 +20,11 @@ forward sweep on the safe-restricted chain for the ``[0, a]`` phase.  All
 interval groups that agree on the (base chain, safe, target, lower,
 epsilon) signature — i.e. differ only in their time grids — are bundled
 into one :class:`ExecutionUnit`: the backward phase runs once over the
-union of every grid's residual horizons and the forward phase runs once
-with every grid's value vectors stacked on the reward axis, so ``G`` grids
-cost two sweeps total instead of two each.
+union of every grid's residual horizons (merged with a relative tolerance,
+so 1-ULP grid-arithmetic noise does not spawn near-duplicate Fox–Glynn
+windows) and the forward phase runs once with every grid's value vectors
+stacked on the reward axis, so ``G`` grids cost two sweeps total instead
+of two each.
 
 Long-run groups (steady state, unbounded reachability, reachability
 rewards) never sweep at all: each becomes one unit that routes through the
@@ -34,7 +36,16 @@ fetched from the artifact cache when one is attached.
 When the planner attached a quotient (:class:`~repro.analysis.planner.LumpedChain`),
 the sweep runs on the quotient chain: initial distributions are projected
 blockwise and the observable vectors are restricted to one value per block
-(they are block-constant by construction of the lumping partition).
+(they are block-constant by construction of the lumping partition).  This
+covers long-run groups too — their BSCC decomposition and restricted
+solves run on the quotient, whose factorizations persist in the cache
+under the quotient chain's own fingerprint.  Interval bundles use **two**
+quotients: the planner's backward quotient of the target-absorbed chain
+(values are lifted back to full states between the phases) and a
+forward-phase quotient of the safe-restricted chain that the executor
+builds here, seeded with the quantized phase-2 value vectors — the seeds
+only exist once the backward sweep ran.  Both live in the cache under the
+``quotient`` kind, so warm bundles skip both refinements.
 
 The plan is materialised as a list of :class:`ExecutionUnit` objects
 (:func:`execution_units`), each independently runnable: the scenario
@@ -47,6 +58,7 @@ uniformized operators and Fox–Glynn windows across plans.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Any
 
@@ -68,8 +80,27 @@ from repro.ctmc.uniformization import (
     evaluate_grid_block,
     poisson_mixture_sweep,
 )
-from repro.analysis.planner import ExecutionGroup, ExecutionPlan
+from repro.analysis.planner import (
+    ExecutionGroup,
+    ExecutionPlan,
+    LumpedChain,
+    cached_quotient,
+    observable_signature,
+)
 from repro.analysis.requests import MeasureKind, MeasureResult
+
+#: Relative tolerance merging near-identical residual horizons of bundled
+#: interval grids (``times - lower`` produces 1-ULP noise across grids).
+#: The induced value error is bounded by ``q·t·rtol`` per sweep — orders of
+#: magnitude below the Poisson truncation epsilon.
+HORIZON_MERGE_RTOL = 1e-12
+
+#: Decimals the forward-phase lumping seeds are rounded to.  States whose
+#: phase-2 values agree to this quantum may share a block, bounding the
+#: lumped-vs-unlumped deviation by the quantum (5e-13 < the 1e-12 gate)
+#: while letting the refinement collapse states whose values differ only
+#: by accumulated rounding noise.
+_FORWARD_SEED_DECIMALS = 12
 
 
 class _ColumnPool:
@@ -318,6 +349,14 @@ def _execute_longrun_group(
     factorization — fetched from the artifact cache when one is attached —
     with every member's observable batched as a right-hand-side column and
     every member's initial distributions reduced by plain dense algebra.
+
+    When the planner attached a quotient, everything — the BSCC
+    decomposition, the stationary vectors, the restricted solves and their
+    factorizations — runs on the quotient chain (whose own fingerprint
+    keys those artifacts in the cache): ordinary lumpability preserves
+    steady-state observables, unbounded reachability values and
+    reachability rewards, since the seeded partition keeps every member's
+    target/safe indicator and reward vector block-constant.
     """
     # A forced (non-"auto") group mode cannot reuse the shared auto-mode
     # solver: its factorization backend — and therefore its cache tokens —
@@ -329,6 +368,16 @@ def _execute_longrun_group(
             artifacts=artifacts, stats=linear_stats, mode=group.engine
         )
     chain = group.chain
+    lumped = group.lumped
+    if lumped is not None:
+        chain = lumped.quotient
+
+    def statewise(vector: np.ndarray) -> np.ndarray:
+        return lumped.project_statewise(vector) if lumped is not None else vector
+
+    def distributions_of(block: np.ndarray) -> np.ndarray:
+        return lumped.project_distributions(block) if lumped is not None else block
+
     kind = group.members[0].kind
 
     if kind is MeasureKind.STEADY_STATE:
@@ -338,11 +387,11 @@ def _execute_longrun_group(
             for member in group.members
         ]
         distributions = steady_state_distribution_block(
-            chain, initial_pool.stack(), engine=engine
+            chain, distributions_of(initial_pool.stack()), engine=engine
         )
         member_values = [
             distributions[rows]
-            @ (
+            @ statewise(
                 member.target_mask.astype(float)
                 if member.target_mask is not None
                 else member.rewards
@@ -352,30 +401,39 @@ def _execute_longrun_group(
     elif kind is MeasureKind.UNBOUNDED_REACHABILITY:
         first = group.members[0]
         per_state = unbounded_reachability(
-            chain, first.target_mask, first.safe_mask, engine=engine
+            chain,
+            statewise(first.target_mask),
+            statewise(first.safe_mask),
+            engine=engine,
         )
         member_values = [
-            np.clip(member.initials @ per_state, 0.0, 1.0)
+            np.clip(distributions_of(member.initials) @ per_state, 0.0, 1.0)
             for member in group.members
         ]
     else:  # REACHABILITY_REWARD
         reward_pool = _ColumnPool()
         member_columns = [reward_pool.add(member.rewards) for member in group.members]
         values_matrix = reachability_reward_values(
-            chain, group.members[0].target_mask, reward_pool.stack().T, engine=engine
+            chain,
+            statewise(group.members[0].target_mask),
+            statewise(reward_pool.stack().T),
+            engine=engine,
         )
         member_values = [
-            expected_values_under(member.initials, values_matrix[:, [column]])[:, 0]
+            expected_values_under(
+                distributions_of(member.initials), values_matrix[:, [column]]
+            )[:, 0]
             for member, column in zip(group.members, member_columns)
         ]
 
+    lumped_states = lumped.num_blocks if lumped is not None else None
     for member, values in zip(group.members, member_values):
         results[member.index] = MeasureResult(
             request=member.request,
             times=member.times.copy(),
             values=np.asarray(values, dtype=float).reshape(-1, 1),
             group_index=group_index,
-            lumped_states=None,
+            lumped_states=lumped_states,
             _squeeze=member.squeeze,
         )
 
@@ -384,6 +442,83 @@ def _execute_longrun_group(
 # interval-until bundles: one backward [a, t] phase shared by every grid,
 # then one forward [0, a] phase with all grids' value vectors stacked
 # ----------------------------------------------------------------------
+def _merge_close_horizons(
+    group_horizons: list[np.ndarray],
+) -> tuple[np.ndarray, np.ndarray]:
+    """Union of the bundled grids' residual horizons, merged tolerantly.
+
+    ``times - lower`` computed per grid yields horizons that differ by an
+    ULP between grids even when the grids were meant to coincide; exact
+    ``np.unique`` would keep both and spawn near-duplicate Fox–Glynn
+    windows.  Adjacent sorted values whose gap is within
+    :data:`HORIZON_MERGE_RTOL` (relative to their magnitude) share one
+    cluster, represented by the cluster's smallest member — exact zeros
+    always form their own cluster, so the t = a grid points stay exact.
+
+    Returns ``(representatives, cluster_of)`` where ``cluster_of`` maps
+    each position of ``np.concatenate(group_horizons)`` to its cluster.
+    """
+    concatenated = np.concatenate(group_horizons)
+    order = np.argsort(concatenated, kind="stable")
+    sorted_values = concatenated[order]
+    gaps = np.diff(sorted_values)
+    scale = np.maximum(np.abs(sorted_values[1:]), np.abs(sorted_values[:-1]))
+    starts_cluster = gaps > HORIZON_MERGE_RTOL * scale
+    cluster_of_sorted = np.concatenate(
+        ([0], np.cumsum(starts_cluster))
+    ) if sorted_values.size else np.zeros(0, dtype=int)
+    first_positions = (
+        np.concatenate(([0], np.flatnonzero(starts_cluster) + 1))
+        if sorted_values.size
+        else np.zeros(0, dtype=int)
+    )
+    representatives = sorted_values[first_positions]
+    cluster_of = np.empty(concatenated.shape[0], dtype=int)
+    cluster_of[order] = cluster_of_sorted
+    return representatives, cluster_of
+
+
+def _forward_interval_quotient(
+    restricted: CTMC,
+    value_columns: np.ndarray,
+    artifacts: Any | None,
+) -> LumpedChain | None:
+    """The forward-phase quotient of the safe-restricted chain.
+
+    Seeded with the *joint* class of the quantized phase-2 value vectors:
+    two states may share a block only when every stacked value column
+    agrees on them to the rounding quantum (after which ordinary
+    lumpability refinement runs as usual).  Combining the columns into one
+    row-identity observable keeps the seeding cost at one ``np.unique``
+    over rows instead of one label mask per (column, value) pair.
+
+    The cache signature hashes the quantized columns themselves — the
+    backward phase is deterministic, so a warm repeat of the same bundle
+    reproduces the same bytes and hits.  A failed build degrades to the
+    full restricted chain with a one-time warning (and leaves a tombstone
+    behind when a cache is attached, like the planner-side quotients).
+    """
+    quantized = np.round(value_columns, _FORWARD_SEED_DECIMALS)
+    _, combined = np.unique(quantized, axis=0, return_inverse=True)
+    signature = "interval-forward|" + observable_signature([quantized])
+    try:
+        return cached_quotient(
+            restricted,
+            [np.asarray(combined, dtype=float)],
+            artifacts,
+            signature=signature,
+        )
+    except Exception as error:
+        warnings.warn(
+            f"interval forward-phase lumping failed for a "
+            f"{restricted.num_states}-state chain "
+            f"({type(error).__name__}: {error}); sweeping the full chain",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return None
+
+
 def _execute_interval_bundle(
     entries: list[tuple[int, ExecutionGroup]],
     results: list[MeasureResult | None],
@@ -397,32 +532,70 @@ def _execute_interval_bundle(
     lower = float(first.request.lower)
     epsilon = first_group.epsilon
     base = first_group.chain
+    selector = EngineSelector(artifacts)
 
     # Phase 2 (backward): per-state P[ safe U^{<= t-a} target ] on the chain
     # with decided states absorbed, for every residual horizon appearing in
-    # *any* bundled grid — one sweep over the union.
+    # *any* bundled grid — one sweep over the (tolerantly merged) union.
+    # With lumping the sweep walks the planner's quotient of the absorbed
+    # chain and the per-block values are lifted back to full states; the
+    # quotient's own (smaller) uniformization rate keys its Fox–Glynn
+    # windows, so the lumped and unlumped bundles never share windows.
     absorbing = target_mask | ~(safe_mask | target_mask)
-    transformed = _transformed(base, absorbing, artifacts)
+    backward_lumped = first_group.lumped
+    backward_chain = (
+        backward_lumped.quotient
+        if backward_lumped is not None
+        else _transformed(base, absorbing, artifacts)
+    )
     group_horizons = [
         np.maximum(group.times - lower, 0.0) for _, group in entries
     ]
-    unique_horizons = np.unique(np.concatenate(group_horizons))
+    unique_horizons, cluster_of = _merge_close_horizons(group_horizons)
     per_state = np.empty((unique_horizons.shape[0], base.num_states))
     indicator = target_mask.astype(float)
+    start = (
+        backward_lumped.project_statewise(indicator)
+        if backward_lumped is not None
+        else indicator
+    )
     positive = np.flatnonzero(unique_horizons > 0.0)
     make_window = fox_glynn if artifacts is None else artifacts.fox_glynn_window
-    if positive.size and transformed.max_exit_rate > 0.0:
-        probabilities, q2 = transformed.uniformized_matrix()
+    if positive.size and backward_chain.max_exit_rate > 0.0:
+        probabilities, q2 = backward_chain.uniformized_matrix()
         windows = [
             make_window(q2 * float(unique_horizons[i]), epsilon) for i in positive
         ]
+        # The backward value sweep routes through the engine layer like the
+        # forward phases do (dense chains get the BLAS walk), always on the
+        # float64 lane: the float32 renormalization trick assumes a
+        # mass-conserving forward operator, which a value sweep is not.
+        backward_engine = selector.engine_for(
+            backward_chain,
+            probabilities,
+            q2,
+            mode=first_group.engine,
+            dtype="float64",
+            backward=True,
+        )
         mixtures, _ = poisson_mixture_sweep(
-            probabilities, indicator, windows, stats=engine_stats
+            probabilities,
+            start,
+            windows,
+            stats=engine_stats,
+            engine=backward_engine,
         )
         for window_index, horizon_index in enumerate(positive):
-            per_state[horizon_index] = np.clip(mixtures[window_index], 0.0, 1.0)
+            values = np.clip(mixtures[window_index], 0.0, 1.0)
+            per_state[horizon_index] = (
+                backward_lumped.lift_statewise(values)
+                if backward_lumped is not None
+                else values
+            )
         zero_horizons = np.flatnonzero(unique_horizons == 0.0)
     else:
+        # Either every horizon is zero, or the (possibly lumped) chain has
+        # no between-block transitions left — values stay at the indicator.
         zero_horizons = np.arange(unique_horizons.shape[0])
     per_state[zero_horizons] = indicator
 
@@ -442,33 +615,45 @@ def _execute_interval_bundle(
         for _, group in entries
     ]
     initial_block = initial_pool.stack()
-    column_indices = np.concatenate(
-        [np.searchsorted(unique_horizons, horizons) for horizons in group_horizons]
-    )
+    column_indices = cluster_of
     value_columns = per_state[column_indices].T  # (num_states, sum of grid sizes)
     blocked = ~safe_mask
     value_columns = np.where(blocked[:, None], 0.0, value_columns)
 
     restricted = _transformed(base, blocked, artifacts)
-    # The forward phase follows the group's backend; the backward value
-    # sweep above stays on the legacy float64 CSR path (its operator is not
-    # the cached forward operator, and value vectors are not mass-conserving).
+    forward_lumped = (
+        _forward_interval_quotient(restricted, value_columns, artifacts)
+        if first_group.lump
+        else None
+    )
+    sweep_chain = restricted
+    sweep_initials = initial_block
+    sweep_columns = value_columns
+    if forward_lumped is not None:
+        sweep_chain = forward_lumped.quotient
+        sweep_initials = forward_lumped.project_distributions(initial_block)
+        sweep_columns = forward_lumped.project_statewise(value_columns)
     phase1 = evaluate_grid_block(
-        restricted,
+        sweep_chain,
         np.array([lower]),
-        initial_block,
-        rewards_matrix=value_columns,
+        sweep_initials,
+        rewards_matrix=sweep_columns,
         distributions=False,
         instantaneous=True,
         epsilon=epsilon,
         stats=engine_stats,
         engine=first_group.engine,
         dtype=first_group.dtype,
-        selector=EngineSelector(artifacts),
+        selector=selector,
         **_lookups(artifacts),
     )
     per_initial = np.clip(phase1.instantaneous[:, 0, :], 0.0, 1.0)
 
+    lumped_states = None
+    if backward_lumped is not None:
+        lumped_states = backward_lumped.num_blocks
+    elif forward_lumped is not None:
+        lumped_states = forward_lumped.num_blocks
     offset = 0
     for (group_index, group), rows_per_member in zip(entries, member_rows):
         width = group.times.shape[0]
@@ -480,6 +665,6 @@ def _execute_interval_bundle(
                 times=member.times.copy(),
                 values=per_initial[np.ix_(rows, columns)],
                 group_index=group_index,
-                lumped_states=None,
+                lumped_states=lumped_states,
                 _squeeze=member.squeeze,
             )

@@ -26,10 +26,28 @@ sweep (``lump=True``).  The lumping partition is seeded with exactly the
 vectors the group's requests observe — target indicator vectors and reward
 vectors — so every observable is block-constant and the quotient preserves
 all requested measures; the (typically much smaller) quotient chain then
-shrinks every product of the sweep.  Groups containing ``TRANSIENT``
-requests are never lumped (their full distributions live on the original
-state space), and neither are interval-until groups (they sweep two
-different transformed chains).
+shrinks every product of the sweep.  Lumping now covers every group kind
+except full-distribution requests:
+
+* regular sweep groups quotient their operating chain (as before);
+* long-run groups quotient the base chain seeded with their target/safe
+  indicators and reward vectors — ordinary lumpability preserves
+  steady-state observables, unbounded reachability values and reachability
+  rewards, so the BSCC decomposition and the restricted solves all run on
+  the quotient (``S=?``-per-state and other full-distribution requests
+  stay unlumped);
+* interval-until groups quotient the *target-absorbed* chain for the
+  backward value sweep here (seeded with the target indicator); the
+  executor builds a second quotient of the safe-restricted chain for the
+  forward phase, seeded with the quantized phase-2 value vectors (see
+  :func:`repro.analysis.executor._execute_interval_bundle`).
+
+Groups containing ``TRANSIENT`` requests are never lumped (their full
+distributions live on the original state space).  A quotient build that
+*fails* degrades the group to its full chain; with an artifact cache
+attached the failure is recorded as a :class:`QuotientTombstone` under the
+same key, so warm plans skip the doomed refinement silently instead of
+re-failing (and re-warning, and re-counting) on every plan.
 """
 
 from __future__ import annotations
@@ -98,19 +116,32 @@ class LumpedChain:
         """Restrict a block-constant state vector to one value per block."""
         return vector[self.representatives]
 
+    def lift_statewise(self, vector: np.ndarray) -> np.ndarray:
+        """Expand per-block values back to per-state (inverse of
+        :meth:`project_statewise` on block-constant vectors)."""
+        return vector[..., self.partition]
+
 
 @dataclass
 class ExecutionGroup:
     """Requests that will share one uniformization sweep.
 
     ``engine`` is the numeric backend the sweep (or the long-run solver)
-    will use.  For sweep groups :func:`build_plan` resolves ``"auto"``
-    through the :class:`repro.ctmc.engines.EngineSelector` against the
-    chain actually swept (the lumping quotient when one exists), so the
-    executor always sees a concrete backend; long-run groups keep the
-    requested mode and let the solver pick per restricted system.
-    ``dtype`` is the sweep lane (always ``"float64"`` for interval and
-    long-run groups).
+    will use.  For regular sweep groups :func:`build_plan` resolves
+    ``"auto"`` through the :class:`repro.ctmc.engines.EngineSelector`
+    against the chain actually swept (the lumping quotient when one
+    exists), so the executor always sees a concrete backend; long-run
+    groups keep the requested mode and let the solver pick per restricted
+    system, and interval-until groups keep it too because their two phases
+    sweep two *different* transformed chains (the executor resolves per
+    phase).  ``dtype`` is the sweep lane (always ``"float64"`` for
+    interval and long-run groups).
+
+    ``lump`` records whether lumping was requested for the plan at all —
+    the executor needs it for the interval forward-phase quotient, which
+    only exists after the backward phase produced its value vectors (so
+    ``lumped`` alone, which may legitimately be ``None`` when nothing
+    collapsed, cannot carry the request).
     """
 
     chain: CTMC  # the operating chain (after the absorbing transform)
@@ -121,6 +152,7 @@ class ExecutionGroup:
     interval: bool = False
     longrun: bool = False
     lumped: LumpedChain | None = None
+    lump: bool = False
     engine: str = "auto"
     dtype: str = "float64"
 
@@ -420,7 +452,11 @@ def build_plan(
             # build must never poison the plan (the scenario service
             # coalesces many clients into one), so the group degrades to
             # its full chain and the sweep stays exact — but visibly: the
-            # failure is warned about and counted into the session stats.
+            # first failure is warned about and counted into the session
+            # stats.  With an artifact cache attached the failure leaves a
+            # tombstone behind, so warm plans degrade *silently* (no
+            # re-refinement, no repeat warning, no repeat count).
+            group.lump = True
             try:
                 group.lumped = _lump_group(group, artifacts)
             except Exception as error:
@@ -436,9 +472,12 @@ def build_plan(
     # The planner consults the selector: resolve "auto" per sweep group
     # against the chain the executor will actually sweep (the quotient once
     # lumping collapsed it), persisting the decision in the artifact cache.
+    # Interval groups stay at "auto": their two phases sweep two different
+    # transformed chains (each possibly quotiented), so the executor
+    # resolves per phase against the chain each phase actually walks.
     selector = EngineSelector(artifacts)
     for group in plan.groups:
-        if group.longrun or group.engine != "auto":
+        if group.longrun or group.interval or group.engine != "auto":
             continue
         swept = group.lumped.quotient if group.lumped is not None else group.chain
         group.engine = selector.resolve(swept, "auto", group.dtype)
@@ -466,41 +505,107 @@ def observable_signature(observables: Sequence[np.ndarray]) -> str:
     return digest.hexdigest()
 
 
+@dataclass
+class QuotientTombstone:
+    """Negative cache record: building this quotient failed once already.
+
+    Stored in the artifact cache under the same ``quotient`` key a
+    successful build would use, so warm plans recognise the doomed
+    refinement and degrade to the full chain silently — no repeated
+    refinement attempt, warning or failure count.
+    """
+
+    message: str
+
+
+class QuotientBuildError(CTMCError):
+    """A quotient build failed for the first time (fresh tombstone).
+
+    Raised exactly once per (chain, observable signature): subsequent
+    cached lookups hit the :class:`QuotientTombstone` and return ``None``
+    without raising.
+    """
+
+
+def cached_quotient(
+    chain: CTMC,
+    observables: Sequence[np.ndarray],
+    artifacts: Any | None = None,
+    signature: str | None = None,
+) -> LumpedChain | None:
+    """Build (or fetch) the quotient of ``chain`` seeded with ``observables``.
+
+    With ``artifacts`` given, the quotient is fetched from (or stored into)
+    the process-wide cache under ``(chain fingerprint, signature)``; an
+    unprofitable quotient is cached as ``None`` so repeat runs skip the
+    refinement entirely, and a *crashing* build is cached as a
+    :class:`QuotientTombstone` — the first caller sees
+    :class:`QuotientBuildError`, warm callers get a silent ``None``.
+    """
+    if artifacts is None:
+        return _build_quotient(chain, observables)
+    if signature is None:
+        signature = observable_signature(observables)
+    fresh_failure = False
+
+    def factory() -> Any:
+        nonlocal fresh_failure
+        try:
+            return _build_quotient(chain, observables)
+        except Exception as error:
+            fresh_failure = True
+            return QuotientTombstone(f"{type(error).__name__}: {error}")
+
+    cached = artifacts.quotient(chain, signature, factory)
+    if isinstance(cached, QuotientTombstone):
+        if fresh_failure:
+            raise QuotientBuildError(cached.message)
+        return None
+    return cached
+
+
 def _lump_group(group: ExecutionGroup, artifacts: Any | None = None) -> LumpedChain | None:
     """Build the quotient of a group's operating chain, if worthwhile.
 
     The initial partition is seeded with one state-class per distinct value
     of every observable vector of the group (target indicators and reward
-    vectors), so the refined partition keeps all of them block-constant.
+    vectors; long-run groups additionally seed their safe-set indicators,
+    which regular reachability groups bake into the absorbing transform
+    instead), so the refined partition keeps all of them block-constant.
     Initial distributions need no seeding: ordinary lumpability holds for
     arbitrary initial distributions, which simply project blockwise.
 
-    With ``artifacts`` given, the quotient is fetched from (or stored into)
-    the process-wide cache under ``(chain fingerprint, observable
-    signature)``; an unprofitable quotient is cached as ``None`` so repeat
-    runs skip the refinement entirely.
+    Interval-until groups quotient the *target-absorbed* transform of their
+    base chain — the chain the backward value sweep walks — seeded with the
+    target indicator; the executor lifts the per-block values back to full
+    states before the forward phase (and builds the forward-phase quotient
+    itself, since its seeds only exist after the backward sweep ran).
     """
-    if group.interval or group.longrun:
-        # Long-run groups solve linear systems through the cached solver
-        # engine instead of sweeping; their reuse story is the
-        # factorization cache, not a quotient.
-        return None
+    if group.interval:
+        first = group.members[0]
+        absorbing = first.target_mask | ~(first.safe_mask | first.target_mask)
+        if artifacts is not None:
+            transformed = artifacts.transformed_chain(group.chain, absorbing)
+        else:
+            transformed = group.chain.make_absorbing(absorbing)
+        return cached_quotient(
+            transformed, [first.target_mask.astype(float)], artifacts
+        )
     observables: list[np.ndarray] = []
     for member in group.members:
         if member.kind is MeasureKind.TRANSIENT:
             return None  # full distributions live on the original states
         if member.target_mask is not None:
             observables.append(member.target_mask.astype(float))
+        if group.longrun and member.safe_mask is not None:
+            # For long-run reachability the chain is *not* pre-absorbed, so
+            # the safe set must stay block-constant for prob0/prob1 and the
+            # restricted system to commute with the quotient.
+            observables.append(member.safe_mask.astype(float))
         if member.rewards is not None:
             observables.append(member.rewards)
 
-    if artifacts is not None:
-        return artifacts.quotient(
-            group.chain,
-            observable_signature(observables),
-            lambda: _build_quotient(group.chain, observables),
-        )
-    return _build_quotient(group.chain, observables)
+    return cached_quotient(group.chain, observables, artifacts)
 
 
 def _build_quotient(chain: CTMC, observables: Sequence[np.ndarray]) -> LumpedChain | None:

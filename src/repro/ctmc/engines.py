@@ -523,20 +523,28 @@ class EngineSelector:
         *,
         mode: str = "auto",
         dtype: Any = np.float64,
+        backward: bool = False,
     ) -> Engine:
-        """Build (or fetch from the artifact cache) the backend for one sweep."""
+        """Build (or fetch from the artifact cache) the backend for one sweep.
+
+        ``backward=True`` marks the operator as the *non-transposed*
+        uniformized matrix ``P`` (the interval-until value sweep) rather
+        than the forward ``Pᵀ``; both share a ``(fingerprint, rate, dtype)``
+        cache neighbourhood, so the flag keys the densified backward
+        operator separately to keep the two from shadowing each other.
+        """
         dtype = normalise_dtype(dtype)
         nnz = int(operator.nnz) if sparse.issparse(operator) else None
         resolved = self.resolve(chain, mode, dtype, nnz=nnz) if mode == "auto" else (
             normalise_engine_mode(mode)
         )
         if resolved == "dense":
-            return self._dense_engine(chain, operator, rate, dtype)
+            return self._dense_engine(chain, operator, rate, dtype, backward)
         if resolved == "numba":
             return NumbaEngine(operator, dtype)
         return self._sparse_engine(chain, operator, rate, dtype)
 
-    def _dense_engine(self, chain, operator, rate, dtype) -> DenseEngine:
+    def _dense_engine(self, chain, operator, rate, dtype, backward=False) -> DenseEngine:
         nnz = (
             int(operator.nnz)
             if sparse.issparse(operator)
@@ -553,6 +561,7 @@ class EngineSelector:
                     else np.asarray(operator),
                     dtype=dtype,
                 ),
+                backward=backward,
             )
         else:
             dense = (

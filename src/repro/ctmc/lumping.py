@@ -15,6 +15,14 @@ Lumping serves two purposes in the reproduction:
   reactive-modules translation and the direct Arcade state-space generator)
   are equivalent: their quotients must be isomorphic and all measures must
   coincide.
+* It backs the analysis planner's quotient substitution: regular bounded
+  reachability (PR 2), and since PR 10 also the interval-until bundles
+  (separate backward/forward quotients with lift/project glue) and the
+  long-run measure groups (quotients seeded with target/safe/reward
+  observables, solved through the same BSCC + linear-system machinery).
+  Because the rate signatures computed here include the own-block column,
+  exit rates are constant within a block, which is what makes the embedded
+  DTMC, steady-state and reward quotients exact rather than approximate.
 """
 
 from __future__ import annotations

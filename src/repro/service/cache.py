@@ -11,7 +11,12 @@ hit/miss-instrumented LRU store:
 kind               key
 =================  ===================================================
 ``transformed``    (chain fingerprint, absorbing-mask bytes)
-``quotient``       (chain fingerprint, observable signature)
+``quotient``       (chain fingerprint, observable signature) — the lumped
+                   chain, ``None`` (nothing collapsed), or a
+                   :class:`repro.analysis.planner.QuotientTombstone`
+                   recording a failed build so warm plans skip the doomed
+                   refinement; interval-until forward quotients prefix the
+                   signature with the quantized phase-2 seed-vector hash
 ``operator``       (chain fingerprint, uniformization rate)
 ``foxglynn``       (q·t, epsilon)
 ``factorization``  (chain fingerprint, system token) — LU factors of a
@@ -24,10 +29,13 @@ kind               key
                    absorption-probability matrix
 ``embedded``       (chain fingerprint,) — the embedded (jump-chain)
                    transition matrix
-``dense_operator`` (chain fingerprint, uniformization rate, dtype name) —
-                   the densified forward operator the
+``dense_operator`` (chain fingerprint, uniformization rate, dtype name
+                   [, ``"backward"``]) — the densified operator the
                    :class:`repro.ctmc.engines.DenseEngine` GEMM walk uses;
-                   stored with a byte-size-aware weight (see below)
+                   the ``"backward"`` component marks the *non-transposed*
+                   matrix of the interval-until value sweep so it cannot
+                   shadow the forward (transposed) operator; stored with a
+                   byte-size-aware weight (see below)
 ``engine``         (chain fingerprint, dtype name) — the backend the
                    :class:`repro.ctmc.engines.EngineSelector` resolved for
                    ``engine="auto"``
@@ -315,16 +323,23 @@ class ArtifactCache:
         rate: float,
         dtype_name: str,
         factory: Callable[[], np.ndarray],
+        backward: bool = False,
     ) -> np.ndarray:
         """The densified forward operator for the dense GEMM backend.
 
         Weighted by byte size (one unit per :data:`DENSE_WEIGHT_UNIT_BYTES`)
         so a few large ``toarray()`` results cannot crowd out the rest of
-        the budget that was tuned for CSR-sized artifacts.
+        the budget that was tuned for CSR-sized artifacts.  ``backward``
+        keys the non-transposed operator ``P`` of the interval value sweep
+        separately — ``P`` and ``Pᵀ`` of one chain share the same
+        (fingerprint, rate, dtype) and must not shadow each other.
         """
+        key = (chain.fingerprint, float(rate), str(dtype_name))
+        if backward:
+            key = key + ("backward",)
         return self.get_or_create(
             "dense_operator",
-            (chain.fingerprint, float(rate), str(dtype_name)),
+            key,
             factory,
             weight=lambda value: -(-int(value.nbytes) // DENSE_WEIGHT_UNIT_BYTES),
         )

@@ -8,6 +8,8 @@ lumped quotient path, and the CLI's figure-pair deduplication.
 
 from __future__ import annotations
 
+import warnings
+
 import numpy as np
 import pytest
 
@@ -424,6 +426,157 @@ class TestLumpedSessions:
         assert result.lumped_states is None
         np.testing.assert_allclose(
             result.squeezed, transient_distributions(chain, GRID), atol=1e-12
+        )
+
+    def test_interval_and_longrun_groups_run_on_quotients(self):
+        # The PR 10 coverage: interval-until bundles and long-run groups
+        # report quotient state counts, and their lumped values match the
+        # unlumped path exactly.
+        space = exp.line_state_space(LINE2, PAPER_STRATEGIES[0])
+        chain = space.chain
+        target = space.states_with_service_at_least(
+            exp.line_service_interval_lower(LINE2, 0)
+        )
+        times = np.linspace(2.0, 20.0, 7)
+        values = {}
+        blocks = {}
+        for lump in (False, True):
+            session = AnalysisSession(lump=lump, epsilon=1e-14)
+            interval = session.request(
+                chain, times, kind=MeasureKind.INTERVAL_REACHABILITY,
+                target=target, lower=2.0,
+            )
+            steady = session.request(
+                chain, (), kind=MeasureKind.STEADY_STATE, target=target
+            )
+            results = session.execute()
+            values[lump] = (results[interval].squeezed, results[steady].squeezed)
+            blocks[lump] = (
+                results[interval].lumped_states,
+                results[steady].lumped_states,
+            )
+        assert blocks[False] == (None, None)
+        assert blocks[True][0] is not None and blocks[True][0] < chain.num_states
+        assert blocks[True][1] is not None and blocks[True][1] < chain.num_states
+        np.testing.assert_allclose(values[True][0], values[False][0], atol=1e-12)
+        np.testing.assert_allclose(values[True][1], values[False][1], atol=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# degradation: failed quotient builds tombstone instead of re-failing
+# ---------------------------------------------------------------------------
+class TestQuotientTombstones:
+    def _request(self, session, chain):
+        return session.request(
+            chain, GRID, kind=MeasureKind.REACHABILITY, target="target"
+        )
+
+    def test_failed_build_warns_and_counts_exactly_once(self, monkeypatch):
+        from repro.analysis import planner
+        from repro.service import ArtifactCache
+
+        calls = {"builds": 0}
+
+        def exploding_build(chain, observables):
+            calls["builds"] += 1
+            raise ValueError("refinement exploded")
+
+        monkeypatch.setattr(planner, "_build_quotient", exploding_build)
+        cache = ArtifactCache()
+        chain = random_chain(9, seed=21)
+
+        cold_stats = SessionStats()
+        cold = AnalysisSession(lump=True, artifacts=cache, stats=cold_stats)
+        cold_index = self._request(cold, chain)
+        with pytest.warns(RuntimeWarning, match="lumping failed"):
+            cold_results = cold.execute()
+        assert cold_stats.lump_failures == 1
+        assert calls["builds"] == 1
+        assert cold_results[cold_index].lumped_states is None
+
+        # Warm plan: the tombstone short-circuits the doomed refinement —
+        # no rebuild attempt, no warning, no additional failure count.
+        warm_stats = SessionStats()
+        warm = AnalysisSession(lump=True, artifacts=cache, stats=warm_stats)
+        warm_index = self._request(warm, chain)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            warm_results = warm.execute()
+        assert not [w for w in caught if "lumping failed" in str(w.message)]
+        assert calls["builds"] == 1
+        assert warm_stats.lump_failures == 0
+        assert warm_results[warm_index].lumped_states is None
+
+        # Degradation stays exact: the full-chain sweep is the reference.
+        reference = AnalysisSession()
+        reference_index = self._request(reference, chain)
+        np.testing.assert_allclose(
+            warm_results[warm_index].squeezed,
+            reference.execute()[reference_index].squeezed,
+            atol=1e-12,
+        )
+
+    def test_successful_builds_are_unaffected(self):
+        from repro.analysis.planner import QuotientTombstone, cached_quotient
+        from repro.service import ArtifactCache
+
+        cache = ArtifactCache()
+        chain = random_chain(9, seed=22)
+        target = np.zeros(9)
+        target[-1] = 1.0
+        first = cached_quotient(chain, [target], cache)
+        again = cached_quotient(chain, [target], cache)
+        assert not isinstance(first, QuotientTombstone)
+        assert again is first  # cache hit returns the identical object
+
+
+# ---------------------------------------------------------------------------
+# interval horizons: 1-ULP grid noise must not spawn duplicate windows
+# ---------------------------------------------------------------------------
+class TestHorizonMerging:
+    def test_merge_helper_clusters_ulp_noise_and_keeps_zeros(self):
+        from repro.analysis.executor import _merge_close_horizons
+
+        eps = np.finfo(float).eps
+        grids = [
+            np.array([0.0, 1.0, 2.0, 3.0]),
+            np.array([0.0, 1.0 * (1.0 + eps), 2.0 * (1.0 - eps), 3.5]),
+        ]
+        representatives, cluster_of = _merge_close_horizons(grids)
+        # 0.0, 1.0, 2.0, 3.0, 3.5 — the ULP-offset duplicates collapse.
+        assert representatives.shape[0] == 5
+        np.testing.assert_allclose(representatives, [0.0, 1.0, 2.0, 3.0, 3.5])
+        assert representatives[0] == 0.0  # exact zero survives exactly
+        # Every original horizon maps to a representative within tolerance.
+        flat = np.concatenate(grids)
+        np.testing.assert_allclose(representatives[cluster_of], flat, rtol=1e-12)
+        # Genuinely distinct horizons are NOT merged.
+        assert 3.0 in representatives and 3.5 in representatives
+
+    def test_bundled_grids_with_float_noise_share_windows(self):
+        from repro.service import ArtifactCache
+
+        chain = random_chain(12, seed=19)
+        lower = 0.5
+        eps = np.finfo(float).eps
+        clean = lower + np.array([1.0, 2.0, 3.0, 4.0])
+        noisy = clean * (1.0 + eps)  # `times - lower` now differs by ~1 ULP
+        cache = ArtifactCache()
+        session = AnalysisSession(artifacts=cache)
+        indices = [
+            session.request(
+                chain, grid, kind=MeasureKind.INTERVAL_REACHABILITY,
+                target="target", lower=lower,
+            )
+            for grid in (clean, noisy)
+        ]
+        results = session.execute()
+        # One Fox–Glynn window per *merged* backward horizon (4) plus the
+        # single forward window at t = lower; without the tolerant merge
+        # the noisy grid would double the backward windows.
+        assert cache.stats().kinds["foxglynn"].misses == 5
+        np.testing.assert_allclose(
+            results[indices[0]].squeezed, results[indices[1]].squeezed, atol=1e-12
         )
 
 

@@ -13,12 +13,22 @@ population of *generated* CTMCs:
   detection, least-squares stationary vectors and dense absorption solves
   (no shared code with :mod:`repro.ctmc.steady_state`);
 * ``R=?[F target]`` (session ``REACHABILITY_REWARD``) against the retained
-  per-call :func:`repro.ctmc.linsolve.reachability_reward_reference`.
+  per-call :func:`repro.ctmc.linsolve.reachability_reward_reference`;
+* ``P=?[ safe U[a,t] target ]`` (session ``INTERVAL_REACHABILITY``) against
+  a dense two-phase expm reference (forward through the safe-restricted
+  generator to ``a``, backward through the absorbed generator over
+  ``t - a``) — this exercises *both* quotients of the lumped interval
+  bundle (target-absorbed backward, seed-vector forward);
+* ``P=?[ safe U target ]`` (session ``UNBOUNDED_REACHABILITY``), lumped
+  against unlumped, guarding the safe+target-seeded long-run quotient.
 
 Each seeded chain (5–40 states, random density/rates, random target,
 safe-set and reward structures, including absorbing states and reducible
 chains) is checked with ``lump=False`` and ``lump=True``; agreement is
-required to 1e-10 across at least 50 chains.
+required to 1e-10 across at least 50 chains.  Since PR 10 the ``lumped``
+axis genuinely quotients the long-run and interval groups too (not just
+regular bounded reachability), so every comparison below doubles as an
+exactness proof for the expanded lumping coverage.
 """
 
 from __future__ import annotations
@@ -93,6 +103,37 @@ def reference_bounded_reachability(
     indicator = target.astype(float)
     return np.array(
         [float(initial @ expm(generator * t) @ indicator) for t in times]
+    )
+
+
+def reference_interval_reachability(
+    chain: CTMC,
+    target: np.ndarray,
+    safe: np.ndarray,
+    lower: float,
+    times: np.ndarray,
+) -> np.ndarray:
+    """``P[ safe U[a,t] target ]`` via two dense matrix exponentials.
+
+    Phase 1 evolves the initial distribution through the safe-restricted
+    generator to time ``a`` (mass that left the safe set strictly before
+    ``a`` has failed the until and is zeroed); phase 2 weighs the surviving
+    distribution against the bounded-reachability values of the absorbed
+    generator over the residual horizon ``t - a``.
+    """
+    generator = chain.generator_matrix().toarray()
+    restricted = generator.copy()
+    restricted[~safe, :] = 0.0
+    distribution = chain.initial_distribution @ expm(restricted * lower)
+    distribution = np.where(safe, distribution, 0.0)
+    absorbed = generator.copy()
+    absorbed[target | ~(safe | target), :] = 0.0
+    indicator = target.astype(float)
+    return np.array(
+        [
+            float(distribution @ expm(absorbed * max(float(t) - lower, 0.0)) @ indicator)
+            for t in times
+        ]
     )
 
 
@@ -258,6 +299,61 @@ def test_session_agrees_with_references(seed: int, lump: bool) -> None:
         values["reach_reward"][0],
         reachability_reward_reference(chain, spec["rewards"], spec["target"]),
     )
+
+
+@pytest.mark.parametrize("lump", [False, True], ids=["unlumped", "lumped"])
+@pytest.mark.parametrize("seed", range(NUM_CHAINS))
+def test_interval_until_agrees_with_reference(seed: int, lump: bool) -> None:
+    """``P=?[safe U[a,t] target]``, lumped and unlumped, vs dense expm.
+
+    The lumped lane runs the bundle on two quotients (target-absorbed
+    backward chain, seed-vector forward chain) with lift/project glue; both
+    lanes must match the independent reference to the harness tolerance.
+    """
+    chain, spec = random_ctmc(seed)
+    lower = 0.1 + 0.4 * float(spec["times"][-1])
+    times = lower + spec["times"]  # first grid point sits exactly at t = a
+    session = AnalysisSession(lump=lump)
+    index = session.request(
+        chain,
+        times,
+        kind=MeasureKind.INTERVAL_REACHABILITY,
+        target=spec["target"],
+        safe=spec["safe"],
+        lower=lower,
+    )
+    values = session.execute()[index].squeezed
+    _assert_close(
+        "P=?[U[a,t]]",
+        seed,
+        values,
+        reference_interval_reachability(
+            chain, spec["target"], spec["safe"], lower, times
+        ),
+    )
+
+
+@pytest.mark.parametrize("seed", range(NUM_CHAINS))
+def test_unbounded_reachability_lump_invariant(seed: int) -> None:
+    """``P=?[safe U target]`` is unchanged by the long-run quotient.
+
+    The long-run lumping seeds *both* the target and the safe indicator
+    (the chain is not pre-absorbed on this path), so prob0/prob1 and the
+    restricted embedded-DTMC solve commute with the quotient.
+    """
+    chain, spec = random_ctmc(seed)
+    values: dict[bool, np.ndarray] = {}
+    for lump in (False, True):
+        session = AnalysisSession(lump=lump)
+        index = session.request(
+            chain,
+            (),
+            kind=MeasureKind.UNBOUNDED_REACHABILITY,
+            target=spec["target"],
+            safe=spec["safe"],
+        )
+        values[lump] = session.execute()[index].squeezed
+    _assert_close("P=?[U]", seed, values[True], values[False])
 
 
 @pytest.mark.parametrize("dtype", ["float64", "float32"])
